@@ -1,0 +1,61 @@
+"""Figure 3: the locality / parallelism / redundant-work trade-off for the blur.
+
+The paper quantifies five schedules of the two-stage blur by span (available
+parallelism), maximum reuse distance (locality) and work amplification
+(redundant recomputation).  This benchmark reproduces those three columns with
+the instrumented executor; absolute values differ (smaller image, ops counted
+by the interpreter), but the qualitative pattern must match:
+
+* breadth-first: huge span, huge reuse distance, amplification 1.0;
+* full fusion: huge span, zero reuse distance, amplification ~2x;
+* sliding window: span collapses to ~one scanline, amplification 1.0;
+* tiled: amplification slightly above 1, reuse distance ~one tile;
+* sliding within tiles: amplification slightly above 1, span ~strips.
+"""
+
+import pytest
+
+from repro.apps import make_blur
+from repro.metrics import measure_tradeoffs
+
+from conftest import print_table, run_once
+
+STRATEGIES = ["breadth_first", "full_fusion", "sliding_window", "tiled_novec",
+              "sliding_in_tiles"]
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_blur_tradeoff_table(benchmark, blur_image):
+    size = [blur_image.shape[0], blur_image.shape[1]]
+
+    def measure_all():
+        rows = []
+        baseline_ops = None
+        for strategy in STRATEGIES:
+            app = make_blur(blur_image).apply_schedule(strategy)
+            report = measure_tradeoffs(app.pipeline(), size, baseline_ops=baseline_ops)
+            if baseline_ops is None:
+                baseline_ops = report.total_ops
+                report.work_amplification = 1.0
+            rows.append({
+                "strategy": strategy,
+                "span": report.span,
+                "max_reuse_distance": report.max_reuse_distance,
+                "work_amplification": report.work_amplification,
+            })
+        return rows
+
+    rows = run_once(benchmark, measure_all)
+    print_table("Figure 3: two-stage blur trade-offs",
+                rows, ["strategy", "span", "max_reuse_distance", "work_amplification"])
+
+    by_name = {r["strategy"]: r for r in rows}
+    # Shape checks mirroring the paper's table.
+    assert by_name["full_fusion"]["work_amplification"] > 1.3
+    assert by_name["full_fusion"]["max_reuse_distance"] == 0
+    assert by_name["sliding_window"]["work_amplification"] < 1.1
+    assert by_name["sliding_window"]["span"] < by_name["breadth_first"]["span"] / 8
+    assert 1.0 <= by_name["tiled_novec"]["work_amplification"] < 1.5
+    assert by_name["tiled_novec"]["max_reuse_distance"] < \
+        by_name["breadth_first"]["max_reuse_distance"]
+    assert by_name["sliding_in_tiles"]["span"] > by_name["sliding_window"]["span"]

@@ -1,0 +1,59 @@
+"""Figure 6: properties of the example applications.
+
+The paper tabulates, per application, the number of functions, the number of
+stencil stages, and a qualitative "graph structure" label.  This benchmark
+regenerates the table from the DSL descriptions (the pyramid depth and
+intensity-level parameters are scaled down, so absolute counts are smaller
+than the paper's 99-stage configuration; the ordering must match).
+"""
+
+import pytest
+
+from repro.apps import (
+    make_bilateral_grid,
+    make_blur,
+    make_camera_pipe,
+    make_interpolate,
+    make_local_laplacian,
+)
+from repro.metrics import analyze_pipeline
+
+from conftest import print_table, run_once
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_application_properties(benchmark, blur_image, small_gray, raw_image, rgba_image):
+    def build_table():
+        apps = [
+            ("blur", make_blur(blur_image)),
+            ("bilateral_grid", make_bilateral_grid(small_gray)),
+            ("camera_pipe", make_camera_pipe(raw_image)),
+            ("interpolate", make_interpolate(rgba_image, levels=4)),
+            ("local_laplacian", make_local_laplacian(small_gray, levels=4,
+                                                     intensity_levels=8)),
+        ]
+        rows = []
+        for name, app in apps:
+            stats = analyze_pipeline(app.output, name=name)
+            row = stats.as_row()
+            row["algorithm_lines"] = app.algorithm_lines
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, build_table)
+    print_table("Figure 6: application properties", rows,
+                ["pipeline", "functions", "stencils", "reductions", "structure",
+                 "algorithm_lines"])
+
+    by_name = {r["pipeline"]: r for r in rows}
+    # Ordering of graph complexity matches the paper:
+    # blur < bilateral grid < camera pipe <= interpolate < local Laplacian.
+    assert by_name["blur"]["functions"] <= 3
+    assert by_name["blur"]["functions"] < by_name["bilateral_grid"]["functions"]
+    assert by_name["bilateral_grid"]["functions"] < by_name["camera_pipe"]["functions"]
+    assert by_name["camera_pipe"]["functions"] <= by_name["local_laplacian"]["functions"]
+    # The bilateral grid has the scatter reduction; blur has none.
+    assert by_name["bilateral_grid"]["reductions"] >= 1
+    assert by_name["blur"]["reductions"] == 0
+    # Stencils dominate the big pipelines, as in the paper.
+    assert by_name["local_laplacian"]["stencils"] >= 0.5 * by_name["local_laplacian"]["functions"]

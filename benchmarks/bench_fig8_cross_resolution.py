@@ -1,0 +1,66 @@
+"""Figure 8: cross-testing autotuned schedules across image resolutions.
+
+The paper tunes each program at a source resolution, then runs the winning
+schedule at a different target resolution and compares against tuning directly
+at the target.  The observation to reproduce: schedules generalize reasonably
+well, and generalize better from low resolution to high resolution than the
+reverse.
+"""
+
+import pytest
+
+from repro.apps import make_blur, make_unsharp
+from repro.autotuner import Autotuner, CostModelEvaluator, TunerConfig
+from repro.machine import SMALL_CACHE_CPU, estimate_cost
+from repro.pipeline import Pipeline
+
+from conftest import print_table, run_once
+
+SMALL = [32, 24]
+LARGE = [96, 64]
+
+
+def _tune(pipeline, sizes, seed):
+    evaluator = CostModelEvaluator(pipeline, sizes, profile=SMALL_CACHE_CPU)
+    config = TunerConfig(population_size=6, generations=2, seed=seed)
+    result = Autotuner(pipeline, evaluator, config).run()
+    return result.best_schedules(pipeline)
+
+
+def _cost(pipeline, schedules, sizes):
+    return estimate_cost(pipeline, sizes, schedules=schedules,
+                         profile=SMALL_CACHE_CPU).milliseconds
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_cross_resolution(benchmark, blur_image):
+    def measure_all():
+        rows = []
+        for name, make in (("blur", lambda: make_blur(blur_image)),
+                           ("unsharp", lambda: make_unsharp(blur_image))):
+            pipeline = Pipeline(make().output)
+            tuned_small = _tune(pipeline, SMALL, seed=1)
+            tuned_large = _tune(pipeline, LARGE, seed=2)
+
+            # Low resolution -> high resolution.
+            cross_up = _cost(pipeline, tuned_small, LARGE)
+            native_large = _cost(pipeline, tuned_large, LARGE)
+            # High resolution -> low resolution.
+            cross_down = _cost(pipeline, tuned_large, SMALL)
+            native_small = _cost(pipeline, tuned_small, SMALL)
+
+            rows.append({
+                "pipeline": name,
+                "slowdown_low_to_high": cross_up / native_large,
+                "slowdown_high_to_low": cross_down / native_small,
+            })
+        return rows
+
+    rows = run_once(benchmark, measure_all)
+    print_table("Figure 8: cross-testing schedules across resolutions",
+                rows, ["pipeline", "slowdown_low_to_high", "slowdown_high_to_low"])
+
+    for row in rows:
+        # Schedules transfer: no catastrophic (>16x, the paper's worst case) blowup
+        # in the low->high direction.
+        assert row["slowdown_low_to_high"] < 4.0

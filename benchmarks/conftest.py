@@ -1,0 +1,66 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6) at reduced scale, prints the reproduced rows, and records the
+headline quantity with pytest-benchmark so the harness can be tracked over
+time.  Interpretation of each table against the paper's numbers lives in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(name): which paper figure a benchmark reproduces")
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(20130616)  # PLDI 2013
+
+
+@pytest.fixture(scope="session")
+def blur_image(bench_rng):
+    """The blur benchmark image (scaled down from the paper's 3072x2046)."""
+    return bench_rng.random((128, 96)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def small_gray(bench_rng):
+    return bench_rng.random((32, 24)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def raw_image(bench_rng):
+    return (bench_rng.random((48, 40)) * 1024).astype(np.uint16)
+
+
+@pytest.fixture(scope="session")
+def rgba_image(bench_rng):
+    rgba = bench_rng.random((32, 24, 4)).astype(np.float32)
+    rgba[:, :, 3] = (bench_rng.random((32, 24)) > 0.5).astype(np.float32)
+    return rgba
+
+
+def print_table(title: str, rows, columns) -> None:
+    """Print a reproduced paper table in a fixed-width layout."""
+    print(f"\n=== {title} ===")
+    header = " | ".join(f"{c:>22}" for c in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{_fmt(row.get(c, '')):>22}" for c in columns))
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def run_once(benchmark, fn):
+    """Record a single timed run with pytest-benchmark (interpreted runs are slow)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,93 @@
+"""Call-graph construction over pipeline functions.
+
+A Halide pipeline is a DAG of functions.  Lowering needs (a) the environment
+of every function reachable from the output and (b) a *realization order*: a
+topological order in which producers appear before their consumers, so that
+injection of realizations (Section 4.1) can proceed from the output backwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.ir import expr as E
+from repro.ir.visitor import IRVisitor
+
+__all__ = ["find_direct_calls", "build_environment", "realization_order", "CallGraphError"]
+
+
+class CallGraphError(RuntimeError):
+    """Raised for malformed pipelines (cycles through pure definitions, etc.)."""
+
+
+class _CallCollector(IRVisitor):
+    def __init__(self):
+        self.calls: Dict[str, object] = {}
+
+    def visit_Call(self, node: E.Call):
+        if node.call_type == E.CallType.HALIDE and getattr(node, "target", None) is not None:
+            existing = self.calls.get(node.name)
+            if existing is not None and existing is not node.target:
+                raise CallGraphError(
+                    f"two different functions share the name {node.name!r}"
+                )
+            self.calls[node.name] = node.target
+        for a in node.args:
+            self.visit(a)
+
+
+def find_direct_calls(function) -> Dict[str, object]:
+    """Map of function-name -> Function for every stage directly called by ``function``."""
+    collector = _CallCollector()
+    for expr in function.all_values():
+        collector.visit(expr)
+    # A function's update definitions may call itself; that is not an edge in
+    # the DAG we schedule over.
+    collector.calls.pop(function.name, None)
+    return collector.calls
+
+
+def build_environment(outputs) -> Dict[str, object]:
+    """All functions reachable from ``outputs``, keyed by name."""
+    env: Dict[str, object] = {}
+    pending = list(outputs)
+    while pending:
+        f = pending.pop()
+        if f.name in env:
+            if env[f.name] is not f:
+                raise CallGraphError(f"two different functions share the name {f.name!r}")
+            continue
+        env[f.name] = f
+        pending.extend(find_direct_calls(f).values())
+    return env
+
+
+def realization_order(outputs, env: Dict[str, object]) -> List[str]:
+    """Topological order of ``env``: every producer before its consumers.
+
+    The output functions come last.  Raises :class:`CallGraphError` on cycles.
+    """
+    graph: Dict[str, Set[str]] = {
+        name: set(find_direct_calls(f)) & set(env) for name, f in env.items()
+    }
+
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+    def visit(name: str) -> None:
+        mark = state.get(name, 0)
+        if mark == 2:
+            return
+        if mark == 1:
+            raise CallGraphError(f"cycle in pipeline call graph involving {name!r}")
+        state[name] = 1
+        for callee in sorted(graph[name]):
+            visit(callee)
+        state[name] = 2
+        order.append(name)
+
+    for f in outputs:
+        visit(f.name)
+    for name in sorted(env):
+        visit(name)
+    return order

@@ -1,0 +1,310 @@
+"""Interval arithmetic over symbolic expressions (Section 4.2 of the paper).
+
+An :class:`Interval` is a pair of expressions ``[min, max]`` (inclusive); a
+``None`` endpoint means unbounded in that direction.  The central entry point
+is :func:`bounds_of_expr_in_scope`, which computes an interval containing all
+values an expression can take given intervals for the free variables in a
+scope.  Unlike the polyhedral model, this analysis can look through min/max,
+select, division, clamped loads, and even data-dependent values (a load of a
+``uint8`` is known to lie in ``[0, 255]``), which is what lets the compiler
+infer every loop bound and allocation size in any pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir import expr as E
+from repro.ir import op
+from repro.analysis.scope import Scope
+
+__all__ = ["Interval", "bounds_of_expr_in_scope", "interval_union", "interval_intersection"]
+
+
+class Interval:
+    """A closed interval ``[min, max]`` with symbolic expression endpoints."""
+
+    __slots__ = ("min", "max")
+
+    def __init__(self, min: Optional[E.Expr], max: Optional[E.Expr]):
+        self.min = min
+        self.max = max
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def everything() -> "Interval":
+        return Interval(None, None)
+
+    @staticmethod
+    def single_point(e: E.Expr) -> "Interval":
+        return Interval(e, e)
+
+    @staticmethod
+    def from_const(lo, hi) -> "Interval":
+        return Interval(op.as_expr(lo), op.as_expr(hi))
+
+    # -- queries ----------------------------------------------------------
+    def is_bounded(self) -> bool:
+        return self.min is not None and self.max is not None
+
+    def has_lower_bound(self) -> bool:
+        return self.min is not None
+
+    def has_upper_bound(self) -> bool:
+        return self.max is not None
+
+    def is_single_point(self) -> bool:
+        return self.min is not None and self.max is not None and self.min == self.max
+
+    def is_everything(self) -> bool:
+        return self.min is None and self.max is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo = "-inf" if self.min is None else repr(self.min)
+        hi = "+inf" if self.max is None else repr(self.max)
+        return f"Interval({lo}, {hi})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.min == other.min and self.max == other.max
+
+    def __hash__(self):
+        return hash((self.min, self.max))
+
+
+def interval_union(a: Interval, b: Interval) -> Interval:
+    """The smallest interval containing both ``a`` and ``b``."""
+    lo = None if a.min is None or b.min is None else op.min_(a.min, b.min)
+    hi = None if a.max is None or b.max is None else op.max_(a.max, b.max)
+    return Interval(lo, hi)
+
+
+def interval_intersection(a: Interval, b: Interval) -> Interval:
+    """The largest interval contained in both ``a`` and ``b``."""
+    if a.min is None:
+        lo = b.min
+    elif b.min is None:
+        lo = a.min
+    else:
+        lo = op.max_(a.min, b.min)
+    if a.max is None:
+        hi = b.max
+    elif b.max is None:
+        hi = a.max
+    else:
+        hi = op.min_(a.max, b.max)
+    return Interval(lo, hi)
+
+
+def _add(a: Optional[E.Expr], b: Optional[E.Expr]) -> Optional[E.Expr]:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _sub(a: Optional[E.Expr], b: Optional[E.Expr]) -> Optional[E.Expr]:
+    if a is None or b is None:
+        return None
+    return a - b
+
+
+# Calls into functions/images of these integer widths are treated as bounded
+# by their type range, which is what makes data-dependent gathers (e.g. the
+# histogram-equalization CDF lookup) analyzable.
+_MAX_TYPE_RANGE_BITS = 16
+
+
+def bounds_of_expr_in_scope(e: E.Expr, scope: Scope) -> Interval:
+    """An interval containing every value ``e`` can take.
+
+    ``scope`` maps variable names to :class:`Interval`.  Free variables not in
+    scope are treated as single points (their bound is themselves), so the
+    result can be a symbolic expression of outer loop variables.
+    """
+    if isinstance(e, (E.IntImm, E.FloatImm)):
+        return Interval.single_point(e)
+
+    if isinstance(e, E.Variable):
+        bound = scope.get(e.name)
+        if bound is not None:
+            return Interval(bound.min, bound.max)
+        return Interval.single_point(e)
+
+    if isinstance(e, E.Cast):
+        inner = bounds_of_expr_in_scope(e.value, scope)
+        if not inner.is_bounded() and not e.type.is_float() and e.type.bits <= _MAX_TYPE_RANGE_BITS:
+            return Interval.from_const(int(e.type.min_value()), int(e.type.max_value()))
+        lo = None if inner.min is None else op.cast(e.type.element_of(), inner.min)
+        hi = None if inner.max is None else op.cast(e.type.element_of(), inner.max)
+        return Interval(lo, hi)
+
+    if isinstance(e, E.Add):
+        a = bounds_of_expr_in_scope(e.a, scope)
+        b = bounds_of_expr_in_scope(e.b, scope)
+        return Interval(_add(a.min, b.min), _add(a.max, b.max))
+
+    if isinstance(e, E.Sub):
+        a = bounds_of_expr_in_scope(e.a, scope)
+        b = bounds_of_expr_in_scope(e.b, scope)
+        return Interval(_sub(a.min, b.max), _sub(a.max, b.min))
+
+    if isinstance(e, E.Mul):
+        return _bounds_of_mul(e, scope)
+
+    if isinstance(e, E.Div):
+        return _bounds_of_div(e, scope)
+
+    if isinstance(e, E.Mod):
+        return _bounds_of_mod(e, scope)
+
+    if isinstance(e, E.Min):
+        a = bounds_of_expr_in_scope(e.a, scope)
+        b = bounds_of_expr_in_scope(e.b, scope)
+        lo = None if a.min is None or b.min is None else op.min_(a.min, b.min)
+        if a.max is None:
+            hi = b.max
+        elif b.max is None:
+            hi = a.max
+        else:
+            hi = op.min_(a.max, b.max)
+        return Interval(lo, hi)
+
+    if isinstance(e, E.Max):
+        a = bounds_of_expr_in_scope(e.a, scope)
+        b = bounds_of_expr_in_scope(e.b, scope)
+        hi = None if a.max is None or b.max is None else op.max_(a.max, b.max)
+        if a.min is None:
+            lo = b.min
+        elif b.min is None:
+            lo = a.min
+        else:
+            lo = op.max_(a.min, b.min)
+        return Interval(lo, hi)
+
+    if isinstance(e, E.Select):
+        t = bounds_of_expr_in_scope(e.true_value, scope)
+        f = bounds_of_expr_in_scope(e.false_value, scope)
+        return interval_union(t, f)
+
+    if isinstance(e, (E.EQ, E.NE, E.LT, E.LE, E.GT, E.GE, E.And, E.Or, E.Not)):
+        return Interval.from_const(0, 1)
+
+    if isinstance(e, E.Let):
+        value_bounds = bounds_of_expr_in_scope(e.value, scope)
+        with scope.bound(e.name, value_bounds):
+            return bounds_of_expr_in_scope(e.body, scope)
+
+    if isinstance(e, E.Broadcast):
+        return bounds_of_expr_in_scope(e.value, scope)
+
+    if isinstance(e, E.Ramp):
+        base = bounds_of_expr_in_scope(e.base, scope)
+        stride = bounds_of_expr_in_scope(e.stride, scope)
+        if not base.is_bounded() or not stride.is_bounded():
+            return Interval.everything()
+        last_lo = base.min + stride.min * (e.lanes - 1)
+        last_hi = base.max + stride.max * (e.lanes - 1)
+        return Interval(op.min_(base.min, last_lo), op.max_(base.max, last_hi))
+
+    if isinstance(e, E.Call):
+        return _bounds_of_call(e, scope)
+
+    if isinstance(e, E.Load):
+        if not e.type.is_float() and e.type.bits <= _MAX_TYPE_RANGE_BITS:
+            return Interval.from_const(int(e.type.min_value()), int(e.type.max_value()))
+        return Interval.everything()
+
+    return Interval.everything()
+
+
+def _bounds_of_mul(e: E.Mul, scope: Scope) -> Interval:
+    a = bounds_of_expr_in_scope(e.a, scope)
+    b = bounds_of_expr_in_scope(e.b, scope)
+
+    def scale(iv: Interval, factor: E.Expr) -> Interval:
+        value = op.const_value(factor)
+        if value is None:
+            if not iv.is_bounded():
+                return Interval.everything()
+            lo = op.min_(iv.min * factor, iv.max * factor)
+            hi = op.max_(iv.min * factor, iv.max * factor)
+            return Interval(lo, hi)
+        if value >= 0:
+            lo = None if iv.min is None else iv.min * factor
+            hi = None if iv.max is None else iv.max * factor
+            return Interval(lo, hi)
+        lo = None if iv.max is None else iv.max * factor
+        hi = None if iv.min is None else iv.min * factor
+        return Interval(lo, hi)
+
+    if b.is_single_point() and b.min is not None:
+        return scale(a, b.min)
+    if a.is_single_point() and a.min is not None:
+        return scale(b, a.min)
+    if a.is_bounded() and b.is_bounded():
+        products = [a.min * b.min, a.min * b.max, a.max * b.min, a.max * b.max]
+        lo = products[0]
+        hi = products[0]
+        for p in products[1:]:
+            lo = op.min_(lo, p)
+            hi = op.max_(hi, p)
+        return Interval(lo, hi)
+    return Interval.everything()
+
+
+def _bounds_of_div(e: E.Div, scope: Scope) -> Interval:
+    a = bounds_of_expr_in_scope(e.a, scope)
+    b = bounds_of_expr_in_scope(e.b, scope)
+    if b.is_single_point() and b.min is not None:
+        value = op.const_value(b.min)
+        if value is not None and value != 0:
+            if value > 0:
+                lo = None if a.min is None else a.min / b.min
+                hi = None if a.max is None else a.max / b.min
+            else:
+                lo = None if a.max is None else a.max / b.min
+                hi = None if a.min is None else a.min / b.min
+            return Interval(lo, hi)
+        if value is None and a.is_bounded():
+            # Symbolic positive divisor (e.g. a tile size parameter): assume >= 1.
+            return interval_union(Interval(a.min / b.min, a.max / b.min), Interval(a.min, a.max))
+    return Interval.everything()
+
+
+def _bounds_of_mod(e: E.Mod, scope: Scope) -> Interval:
+    b = bounds_of_expr_in_scope(e.b, scope)
+    if b.is_single_point() and b.min is not None:
+        value = op.const_value(b.min)
+        if value is not None and value > 0:
+            if e.type.is_float():
+                return Interval(op.const(0.0, e.type), b.min)
+            return Interval(op.const(0, e.type), b.min - 1)
+    if b.has_upper_bound():
+        return Interval(op.const(0, e.type.element_of()), b.max)
+    return Interval.everything()
+
+
+_MONOTONIC_INTRINSICS = {"floor", "ceil", "round", "trunc", "sqrt", "exp", "log", "abs"}
+
+
+def _bounds_of_call(e: E.Call, scope: Scope) -> Interval:
+    if e.call_type == E.CallType.INTRINSIC:
+        if e.name == "likely":
+            return bounds_of_expr_in_scope(e.args[0], scope)
+        if e.name in ("floor", "ceil", "round", "trunc"):
+            inner = bounds_of_expr_in_scope(e.args[0], scope)
+            wrap = lambda x: E.Call(e.type, e.name, [x], E.CallType.INTRINSIC)
+            lo = None if inner.min is None else wrap(inner.min)
+            hi = None if inner.max is None else wrap(inner.max)
+            return Interval(lo, hi)
+        if e.name == "abs":
+            inner = bounds_of_expr_in_scope(e.args[0], scope)
+            if inner.is_bounded():
+                wrap = lambda x: E.Call(e.type, "abs", [x], E.CallType.INTRINSIC)
+                return Interval(op.const(0, e.type.element_of()), op.max_(wrap(inner.min), wrap(inner.max)))
+            return Interval(op.const(0, e.type.element_of()), None)
+    # Reads of other stages or input images: bounded only by their type range.
+    if not e.type.is_float() and e.type.bits <= _MAX_TYPE_RANGE_BITS:
+        return Interval.from_const(int(e.type.min_value()), int(e.type.max_value()))
+    return Interval.everything()

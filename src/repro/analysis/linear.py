@@ -1,0 +1,102 @@
+"""Linear-combination normalization of index expressions.
+
+Several passes need to answer questions like "is ``a - b`` a compile-time
+constant?" (storage folding needs the footprint extent, the vectorizer wants
+to recognize dense loads).  Index expressions are overwhelmingly affine, so a
+tiny linear normal form — a mapping from variable name to integer coefficient
+plus a constant term — answers these questions without a full simplifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.ir import expr as E
+from repro.ir import op
+
+__all__ = ["LinearExpr", "to_linear", "constant_difference", "coefficient_of"]
+
+
+class LinearExpr:
+    """``sum(coefficients[v] * v) + constant`` with integer coefficients."""
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(self, coefficients: Optional[Dict[str, float]] = None, constant: float = 0):
+        self.coefficients = dict(coefficients or {})
+        self.constant = constant
+
+    def __add__(self, other: "LinearExpr") -> "LinearExpr":
+        coeffs = dict(self.coefficients)
+        for name, c in other.coefficients.items():
+            coeffs[name] = coeffs.get(name, 0) + c
+        return LinearExpr(coeffs, self.constant + other.constant)
+
+    def __sub__(self, other: "LinearExpr") -> "LinearExpr":
+        coeffs = dict(self.coefficients)
+        for name, c in other.coefficients.items():
+            coeffs[name] = coeffs.get(name, 0) - c
+        return LinearExpr(coeffs, self.constant - other.constant)
+
+    def scaled(self, k: float) -> "LinearExpr":
+        return LinearExpr({n: c * k for n, c in self.coefficients.items()}, self.constant * k)
+
+    def is_constant(self) -> bool:
+        return all(c == 0 for c in self.coefficients.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = [f"{c}*{n}" for n, c in self.coefficients.items() if c != 0]
+        terms.append(str(self.constant))
+        return " + ".join(terms)
+
+
+def to_linear(e: E.Expr) -> Optional[LinearExpr]:
+    """The linear normal form of ``e``, or None if it is not affine."""
+    if isinstance(e, E.IntImm):
+        return LinearExpr(constant=e.value)
+    if isinstance(e, E.FloatImm):
+        return LinearExpr(constant=e.value)
+    if isinstance(e, E.Variable):
+        return LinearExpr({e.name: 1})
+    if isinstance(e, E.Cast):
+        return to_linear(e.value)
+    if isinstance(e, E.Add):
+        a, b = to_linear(e.a), to_linear(e.b)
+        return None if a is None or b is None else a + b
+    if isinstance(e, E.Sub):
+        a, b = to_linear(e.a), to_linear(e.b)
+        return None if a is None or b is None else a - b
+    if isinstance(e, E.Mul):
+        ka = op.const_value(e.a)
+        kb = op.const_value(e.b)
+        if kb is not None:
+            a = to_linear(e.a)
+            return None if a is None else a.scaled(kb)
+        if ka is not None:
+            b = to_linear(e.b)
+            return None if b is None else b.scaled(ka)
+        return None
+    if isinstance(e, E.Broadcast):
+        return to_linear(e.value)
+    if isinstance(e, E.Call) and e.name == "likely":
+        return to_linear(e.args[0])
+    return None
+
+
+def constant_difference(a: E.Expr, b: E.Expr) -> Optional[float]:
+    """``a - b`` if it is a compile-time constant, else None."""
+    la, lb = to_linear(a), to_linear(b)
+    if la is None or lb is None:
+        return None
+    diff = la - lb
+    if diff.is_constant():
+        return diff.constant
+    return None
+
+
+def coefficient_of(e: E.Expr, var: str) -> Optional[float]:
+    """The coefficient of ``var`` in the affine expression ``e`` (None if not affine)."""
+    linear = to_linear(e)
+    if linear is None:
+        return None
+    return linear.coefficients.get(var, 0)

@@ -1,0 +1,89 @@
+"""A simple lexical scope used by analyses and the simplifier.
+
+Scopes map variable names to arbitrary values (intervals, expressions, or
+Python numbers depending on the client) and support cheap push/pop so that
+recursive tree walks can shadow bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Scope"]
+
+
+class Scope(Generic[T]):
+    """A stack of name bindings with shadowing."""
+
+    def __init__(self, parent: Optional["Scope[T]"] = None):
+        self._bindings: Dict[str, List[T]] = {}
+        self._parent = parent
+
+    def contains(self, name: str) -> bool:
+        if name in self._bindings and self._bindings[name]:
+            return True
+        return self._parent.contains(name) if self._parent is not None else False
+
+    def __contains__(self, name: str) -> bool:
+        return self.contains(name)
+
+    def get(self, name: str, default: Optional[T] = None) -> Optional[T]:
+        stack = self._bindings.get(name)
+        if stack:
+            return stack[-1]
+        if self._parent is not None:
+            return self._parent.get(name, default)
+        return default
+
+    def __getitem__(self, name: str) -> T:
+        value = self.get(name, _MISSING)
+        if value is _MISSING:
+            raise KeyError(name)
+        return value
+
+    def push(self, name: str, value: T) -> None:
+        self._bindings.setdefault(name, []).append(value)
+
+    def pop(self, name: str) -> T:
+        stack = self._bindings.get(name)
+        if not stack:
+            raise KeyError(f"pop of unbound name {name!r}")
+        return stack.pop()
+
+    def bound(self, name: str, value: T) -> "_ScopedBinding[T]":
+        """Context manager that binds ``name`` for the duration of a block."""
+        return _ScopedBinding(self, name, value)
+
+    def items(self) -> Iterator[Tuple[str, T]]:
+        seen = set()
+        scope: Optional[Scope[T]] = self
+        while scope is not None:
+            for name, stack in scope._bindings.items():
+                if stack and name not in seen:
+                    seen.add(name)
+                    yield name, stack[-1]
+            scope = scope._parent
+
+
+class _ScopedBinding(Generic[T]):
+    def __init__(self, scope: Scope[T], name: str, value: T):
+        self._scope = scope
+        self._name = name
+        self._value = value
+
+    def __enter__(self):
+        self._scope.push(self._name, self._value)
+        return self._scope
+
+    def __exit__(self, exc_type, exc, tb):
+        self._scope.pop(self._name)
+        return False
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()

@@ -1,0 +1,30 @@
+"""The paper's example applications, written in the DSL.
+
+Each module exposes a ``make_*`` constructor returning an :class:`AppPipeline`
+(the output Func, the dictionary of stages so schedules can reach them, and
+metadata such as the algorithm's line count), plus named schedule functions
+(naive breadth-first, hand-tuned, GPU-style) used by the benchmarks.
+"""
+
+from repro.apps.common import AppPipeline, downsample_2d, upsample_2d
+from repro.apps.blur import make_blur, BLUR_SCHEDULES
+from repro.apps.histogram_equalize import make_histogram_equalize
+from repro.apps.unsharp import make_unsharp
+from repro.apps.bilateral_grid import make_bilateral_grid
+from repro.apps.camera_pipe import make_camera_pipe
+from repro.apps.interpolate import make_interpolate
+from repro.apps.local_laplacian import make_local_laplacian
+
+__all__ = [
+    "AppPipeline",
+    "downsample_2d",
+    "upsample_2d",
+    "make_blur",
+    "BLUR_SCHEDULES",
+    "make_histogram_equalize",
+    "make_unsharp",
+    "make_bilateral_grid",
+    "make_camera_pipe",
+    "make_interpolate",
+    "make_local_laplacian",
+]

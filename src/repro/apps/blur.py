@@ -1,0 +1,113 @@
+"""The two-stage 3x3 box blur of Section 3.1 — the paper's running example.
+
+The algorithm is two lines; the interesting part is the family of schedules
+from Figures 2-4: breadth-first, full fusion, sliding window, overlapping
+tiles, and sliding windows within tiles.  Each is provided as a named schedule
+so the Figure 3 / Figure 4 benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.apps.common import AppPipeline
+from repro.lang import Buffer, Func, Var, repeat_edge
+
+__all__ = ["make_blur", "BLUR_SCHEDULES"]
+
+
+def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
+    """Each stage entirely evaluated before the next (the library-call strategy)."""
+    funcs["blur_x"].compute_root()
+
+
+def _schedule_full_fusion(funcs: Dict[str, Func]) -> None:
+    """Values computed on the fly each time they are needed (inlining)."""
+    funcs["blur_x"].compute_inline()
+
+
+def _schedule_sliding_window(funcs: Dict[str, Func]) -> None:
+    """Values computed when first needed, kept until no longer useful."""
+    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
+    y = "y"
+    blur_x.store_root().compute_at(blur_y, y)
+
+
+def _schedule_tiled(funcs: Dict[str, Func], tile: int = 32, vectorize: bool = True) -> None:
+    """Overlapping tiles processed in parallel (redundant work on tile edges)."""
+    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
+    x, y = Var("x"), Var("y")
+    xo, yo, xi, yi = Var("xo"), Var("yo"), Var("xi"), Var("yi")
+    blur_y.tile(x, y, xo, yo, xi, yi, tile, tile).parallel(yo)
+    blur_x.compute_at(blur_y, xo)
+    if vectorize:
+        blur_y.vectorize(xi, 4)
+        blur_x.vectorize(x, 4)
+
+
+def _schedule_tiled_novec(funcs: Dict[str, Func]) -> None:
+    _schedule_tiled(funcs, vectorize=False)
+
+
+def _schedule_sliding_in_tiles(funcs: Dict[str, Func], strip: int = 8) -> None:
+    """Strips of scanlines in parallel, sliding window within each strip."""
+    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
+    y, yo, yi = Var("y"), Var("yo"), Var("yi")
+    blur_y.split(y, yo, yi, strip).parallel(yo)
+    blur_x.store_at(blur_y, yo).compute_at(blur_y, yi)
+
+
+def _schedule_tuned(funcs: Dict[str, Func]) -> None:
+    """A schedule equivalent to the expert-tuned one the paper's tuner beat."""
+    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
+    x, y, xi, yi = Var("x"), Var("y"), Var("xi"), Var("yi")
+    xo, yo = Var("xo"), Var("yo")
+    blur_y.tile(x, y, xo, yo, xi, yi, 64, 32).parallel(yo).vectorize(xi, 4)
+    blur_x.store_at(blur_y, yo).compute_at(blur_y, yi).vectorize(x, 4)
+
+
+def _schedule_gpu(funcs: Dict[str, Func]) -> None:
+    """Map tiles to GPU blocks and intra-tile pixels to GPU threads."""
+    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
+    x, y, xi, yi = Var("x"), Var("y"), Var("xi"), Var("yi")
+    blur_y.gpu_tile(x, y, xi, yi, 16, 16)
+    blur_x.compute_at(blur_y, Var("x_blk"))
+
+
+BLUR_SCHEDULES = {
+    "breadth_first": _schedule_breadth_first,
+    "full_fusion": _schedule_full_fusion,
+    "sliding_window": _schedule_sliding_window,
+    "tiled": _schedule_tiled,
+    "tiled_novec": _schedule_tiled_novec,
+    "sliding_in_tiles": _schedule_sliding_in_tiles,
+    "tuned": _schedule_tuned,
+    "gpu": _schedule_gpu,
+}
+
+
+def make_blur(image: np.ndarray, name: str = "blur") -> AppPipeline:
+    """Build the two-stage blur over a concrete input image.
+
+    ``image`` is a float32 array of shape (width, height).
+    """
+    image = np.ascontiguousarray(image, dtype=np.float32)
+    input_buffer = Buffer(image, name="input")
+    clamped = repeat_edge(input_buffer, name="input_clamped")
+
+    x, y = Var("x"), Var("y")
+    blur_x = Func("blur_x")
+    blur_y = Func("blur_y")
+    blur_x[x, y] = (clamped[x - 1, y] + clamped[x, y] + clamped[x + 1, y]) / 3.0
+    blur_y[x, y] = (blur_x[x, y - 1] + blur_x[x, y] + blur_x[x, y + 1]) / 3.0
+
+    return AppPipeline(
+        name=name,
+        output=blur_y,
+        funcs={"input_clamped": clamped, "blur_x": blur_x, "blur_y": blur_y},
+        algorithm_lines=2,
+        schedules=dict(BLUR_SCHEDULES),
+        default_size=[image.shape[0], image.shape[1]],
+    )

@@ -1,0 +1,88 @@
+"""Shared building blocks for the example applications.
+
+``downsample_2d`` / ``upsample_2d`` implement the [1 3 3 1] resampling kernels
+shown in Figure 1 of the paper (the DOWN/UP boxes of the local Laplacian
+pipeline), and :class:`AppPipeline` is the uniform wrapper the benchmarks and
+examples consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.lang import Func, Var
+from repro.pipeline import Pipeline
+
+__all__ = ["AppPipeline", "downsample_2d", "upsample_2d"]
+
+
+@dataclass
+class AppPipeline:
+    """An application: its output stage, all named stages, and metadata."""
+
+    name: str
+    output: Func
+    #: All stages by name, so schedules can address them.
+    funcs: Dict[str, Func]
+    #: Number of lines of algorithm code (the Figure 7 "lines Halide" column).
+    algorithm_lines: int = 0
+    #: Named schedule appliers: schedule name -> callable(funcs) -> None.
+    schedules: Dict[str, Callable[[Dict[str, Func]], None]] = field(default_factory=dict)
+    #: Default realization sizes used by tests and benchmarks.
+    default_size: Optional[List[int]] = None
+    #: Extra keyword arguments for Pipeline.realize (params / inputs).
+    realize_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def pipeline(self) -> Pipeline:
+        return Pipeline(self.output)
+
+    def apply_schedule(self, name: str) -> "AppPipeline":
+        """Apply one of the named schedules to the stages (mutates the Funcs)."""
+        self.schedules[name](self.funcs)
+        return self
+
+    def realize(self, sizes=None, **kwargs):
+        sizes = sizes if sizes is not None else self.default_size
+        merged = dict(self.realize_kwargs)
+        merged.update(kwargs)
+        return self.pipeline().realize(sizes, **merged)
+
+
+def downsample_2d(source: Func, name: str) -> Func:
+    """Downsample by 2x in both dimensions with the [1 3 3 1] kernel of Figure 1.
+
+    The result at (x, y) draws from source pixels around (2x, 2y).  Extra
+    dimensions of ``source`` (e.g. the intensity-level dimension of the local
+    Laplacian pyramids) are passed through unchanged.
+    """
+    x, y = Var("x"), Var("y")
+    extra = [Var(f"e{i}") for i in range(max(0, source.dimensions() - 2))]
+    downx = Func(f"{name}_downx")
+    downy = Func(f"{name}_downy")
+    downx[(x, y, *extra)] = (
+        source[(2 * x - 1, y, *extra)]
+        + 3.0 * source[(2 * x, y, *extra)]
+        + 3.0 * source[(2 * x + 1, y, *extra)]
+        + source[(2 * x + 2, y, *extra)]
+    ) / 8.0
+    downy[(x, y, *extra)] = (
+        downx[(x, 2 * y - 1, *extra)]
+        + 3.0 * downx[(x, 2 * y, *extra)]
+        + 3.0 * downx[(x, 2 * y + 1, *extra)]
+        + downx[(x, 2 * y + 2, *extra)]
+    ) / 8.0
+    return downy
+
+
+def upsample_2d(source: Func, name: str) -> Func:
+    """Upsample by 2x in both dimensions with linear interpolation ([1 3 3 1] / 4)."""
+    x, y = Var("x"), Var("y")
+    extra = [Var(f"e{i}") for i in range(max(0, source.dimensions() - 2))]
+    upx = Func(f"{name}_upx")
+    upy = Func(f"{name}_upy")
+    upx[(x, y, *extra)] = 0.25 * source[((x // 2) - 1 + 2 * (x % 2), y, *extra)] + \
+        0.75 * source[(x // 2, y, *extra)]
+    upy[(x, y, *extra)] = 0.25 * upx[(x, (y // 2) - 1 + 2 * (y % 2), *extra)] + \
+        0.75 * upx[(x, y // 2, *extra)]
+    return upy

@@ -1,0 +1,75 @@
+"""Histogram equalization — the reduction example of Section 2 of the paper.
+
+A scattering reduction computes a histogram, a recursive scan integrates it
+into a CDF, and a point-wise, data-dependent gather remaps the input through
+the CDF.  The pipeline exercises all three "beyond stencils" features of the
+language: scatter, scan, and data-dependent access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.common import AppPipeline
+from repro.lang import Buffer, Func, RDom, Var, cast
+from repro.types import Float, Int
+
+__all__ = ["make_histogram_equalize"]
+
+
+def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
+    funcs["histogram"].compute_root()
+    funcs["cdf"].compute_root()
+
+
+def _schedule_tuned(funcs: Dict[str, Func]) -> None:
+    funcs["histogram"].compute_root()
+    funcs["cdf"].compute_root()
+    out = funcs["equalized"]
+    x, y, yo, yi = Var("x"), Var("y"), Var("yo"), Var("yi")
+    out.split(y, yo, yi, 8).parallel(yo).vectorize(x, 4)
+
+
+def make_histogram_equalize(image: np.ndarray, bins: int = 256,
+                            name: str = "histogram_equalize") -> AppPipeline:
+    """Build histogram equalization over a uint8 image of shape (width, height)."""
+    image = np.ascontiguousarray(image, dtype=np.uint8)
+    width, height = image.shape
+    input_buffer = Buffer(image, name="heq_input")
+
+    x, y, i = Var("x"), Var("y"), Var("i")
+    r = RDom(0, width, 0, height, name="r_img")
+    ri = RDom(1, bins - 1, name="r_bins")
+
+    histogram = Func("histogram")
+    histogram[i] = 0
+    histogram[cast(Int(32), input_buffer[r.x, r.y])] += 1
+
+    cdf = Func("cdf")
+    cdf[i] = histogram[0]
+    cdf[ri.x] = cdf[ri.x - 1] + histogram[ri.x]
+
+    equalized = Func("equalized")
+    pixels = float(width * height)
+    # Clamp the coordinates so that schedules which round the traversed domain
+    # up (split/vectorized x or y) never read outside the input image.
+    from repro.lang import clamp
+
+    guarded = input_buffer[clamp(x, 0, width - 1), clamp(y, 0, height - 1)]
+    normalized = cast(Float(32), cdf[cast(Int(32), guarded)]) * (255.0 / pixels)
+    equalized[x, y] = cast(Float(32), normalized)
+
+    funcs = {"histogram": histogram, "cdf": cdf, "equalized": equalized}
+    return AppPipeline(
+        name=name,
+        output=equalized,
+        funcs=funcs,
+        algorithm_lines=6,
+        schedules={
+            "breadth_first": _schedule_breadth_first,
+            "tuned": _schedule_tuned,
+        },
+        default_size=[width, height],
+    )

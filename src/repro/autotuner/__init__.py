@@ -1,0 +1,32 @@
+"""The stochastic schedule autotuner (Section 5 of the paper).
+
+A genetic algorithm searches the space of schedules for a fixed algorithm:
+random valid schedules and domain-informed "reasonable" schedules seed the
+population; each generation is built from elitism, tournament + two-point
+crossover, mutation (including the loop-fusion and template rules the paper
+describes), and fresh random individuals; candidates are validated by
+attempting to lower them, checked against a reference schedule's output, and
+scored either by the machine model (fast, deterministic) or by wall-clock
+interpretation.
+"""
+
+from repro.autotuner.search_space import ScheduleGenome, FunctionGene
+from repro.autotuner.random_schedule import random_genome, reasonable_genome
+from repro.autotuner.mutation import mutate_genome
+from repro.autotuner.crossover import crossover_genomes
+from repro.autotuner.evaluator import CostModelEvaluator, WallClockEvaluator
+from repro.autotuner.genetic import AutotuneResult, Autotuner, TunerConfig
+
+__all__ = [
+    "ScheduleGenome",
+    "FunctionGene",
+    "random_genome",
+    "reasonable_genome",
+    "mutate_genome",
+    "crossover_genomes",
+    "CostModelEvaluator",
+    "WallClockEvaluator",
+    "Autotuner",
+    "TunerConfig",
+    "AutotuneResult",
+]

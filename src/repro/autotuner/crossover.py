@@ -1,0 +1,43 @@
+"""Crossover of schedule genomes (Section 5).
+
+Parents are selected by tournament; children are produced by two-point
+crossover with crossover points chosen at random between functions, so each
+child takes a contiguous (in a fixed function ordering) slice of one parent's
+genes and the rest from the other.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.autotuner.search_space import ScheduleGenome
+
+__all__ = ["crossover_genomes", "tournament_select"]
+
+
+def tournament_select(population: Sequence[Tuple[ScheduleGenome, float]],
+                      rng: random.Random, size: int = 3) -> ScheduleGenome:
+    """Pick the best of ``size`` random individuals (lower fitness is better)."""
+    contenders = [population[rng.randrange(len(population))] for _ in range(size)]
+    best = min(contenders, key=lambda pair: pair[1])
+    return best[0]
+
+
+def crossover_genomes(a: ScheduleGenome, b: ScheduleGenome,
+                      rng: random.Random) -> ScheduleGenome:
+    """Two-point crossover over a fixed ordering of the function names."""
+    names: List[str] = sorted(set(a.genes) | set(b.genes))
+    if not names:
+        return a.copy()
+    first = rng.randrange(len(names) + 1)
+    second = rng.randrange(len(names) + 1)
+    low, high = min(first, second), max(first, second)
+    child = ScheduleGenome()
+    for index, name in enumerate(names):
+        if low <= index < high:
+            source = b if name in b.genes else a
+        else:
+            source = a if name in a.genes else b
+        child.genes[name] = source.genes[name].copy()
+    return child

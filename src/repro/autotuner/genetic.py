@@ -1,0 +1,183 @@
+"""The genetic-algorithm driver of the autotuner (Section 5).
+
+Each generation is assembled from population frequencies of elitism,
+crossover, mutated individuals, and random individuals, exactly as the paper
+describes (which in turn derives from the PetaBricks tuner).  Invalid
+schedules — ones that fail validation, lowering, or the output check — are
+rejected and resampled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.call_graph import build_environment, find_direct_calls
+from repro.autotuner.crossover import crossover_genomes, tournament_select
+from repro.autotuner.evaluator import INVALID_FITNESS, _BaseEvaluator
+from repro.autotuner.mutation import mutate_genome
+from repro.autotuner.random_schedule import (
+    breadth_first_genome,
+    random_genome,
+    reasonable_genome,
+)
+from repro.autotuner.search_space import ScheduleGenome
+from repro.core.function import Function
+from repro.core.schedule import ScheduleError
+from repro.pipeline import Pipeline
+
+__all__ = ["TunerConfig", "AutotuneResult", "Autotuner"]
+
+
+@dataclass
+class TunerConfig:
+    """Search hyper-parameters.
+
+    The defaults follow the paper (population 128) scaled down so that the
+    pure-Python reproduction can run in CI; benchmarks pass explicit values.
+    """
+
+    population_size: int = 16
+    generations: int = 5
+    elitism_fraction: float = 0.125
+    crossover_fraction: float = 0.25
+    mutation_fraction: float = 0.5
+    seed: int = 0
+    gpu: bool = False
+    #: Maximum resampling attempts when a generated individual is invalid.
+    max_resample_attempts: int = 10
+
+
+@dataclass
+class AutotuneResult:
+    """The outcome of a tuning run."""
+
+    best_genome: ScheduleGenome
+    best_fitness: float
+    #: Best fitness after each generation (the convergence curve of Section 6.1).
+    history: List[float] = field(default_factory=list)
+    evaluations: int = 0
+    invalid_candidates: int = 0
+
+    def best_schedules(self, pipeline: Pipeline) -> Dict[str, object]:
+        """Materialize the winning genome as schedule overrides for the compiler."""
+        env = build_environment([pipeline.output_function])
+        return self.best_genome.to_schedules(env, pipeline.output_function.name)
+
+
+class Autotuner:
+    """Stochastic search over schedules for one pipeline."""
+
+    def __init__(self, pipeline: Pipeline, evaluator: _BaseEvaluator,
+                 config: Optional[TunerConfig] = None):
+        self.pipeline = pipeline
+        self.evaluator = evaluator
+        self.config = config or TunerConfig()
+        self.rng = random.Random(self.config.seed)
+        self.env: Dict[str, Function] = build_environment([pipeline.output_function])
+        self.output_name = pipeline.output_function.name
+        self.consumers = self._build_consumer_map()
+        self.evaluations = 0
+        self.invalid_candidates = 0
+
+    # ------------------------------------------------------------------
+    # structure helpers
+    # ------------------------------------------------------------------
+    def _build_consumer_map(self) -> Dict[str, List[str]]:
+        consumers: Dict[str, List[str]] = {name: [] for name in self.env}
+        for name, func in self.env.items():
+            for callee in find_direct_calls(func):
+                if callee in consumers:
+                    consumers[callee].append(name)
+        return consumers
+
+    # ------------------------------------------------------------------
+    # candidate generation and evaluation
+    # ------------------------------------------------------------------
+    def _random_individual(self) -> ScheduleGenome:
+        if self.rng.random() < 0.5:
+            return reasonable_genome(self.env, self.consumers, self.output_name,
+                                     self.rng, self.config.gpu)
+        return random_genome(self.env, self.consumers, self.output_name,
+                             self.rng, self.config.gpu)
+
+    def _evaluate(self, genome: ScheduleGenome) -> float:
+        self.evaluations += 1
+        try:
+            schedules = genome.to_schedules(self.env, self.output_name)
+        except (ScheduleError, ValueError) as _error:
+            self.invalid_candidates += 1
+            return INVALID_FITNESS
+        result = self.evaluator.evaluate_schedules(schedules)
+        if not result.valid:
+            self.invalid_candidates += 1
+        return result.fitness
+
+    def _valid_individual(self, generator: Callable[[], ScheduleGenome]
+                          ) -> Tuple[ScheduleGenome, float]:
+        """Sample until a valid individual is found (bounded attempts)."""
+        genome = generator()
+        fitness = self._evaluate(genome)
+        attempts = 0
+        while fitness == INVALID_FITNESS and attempts < self.config.max_resample_attempts:
+            genome = generator()
+            fitness = self._evaluate(genome)
+            attempts += 1
+        return genome, fitness
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> AutotuneResult:
+        config = self.config
+        population: List[Tuple[ScheduleGenome, float]] = []
+
+        # Seed: the breadth-first schedule (always valid) plus reasonable/random ones.
+        seed_genome = breadth_first_genome(self.env)
+        population.append((seed_genome, self._evaluate(seed_genome)))
+        while len(population) < config.population_size:
+            population.append(self._valid_individual(self._random_individual))
+
+        history: List[float] = []
+        for _generation in range(config.generations):
+            population.sort(key=lambda pair: pair[1])
+            history.append(population[0][1])
+
+            next_population: List[Tuple[ScheduleGenome, float]] = []
+            num_elite = max(1, int(config.elitism_fraction * config.population_size))
+            next_population.extend(population[:num_elite])
+
+            num_crossover = int(config.crossover_fraction * config.population_size)
+            for _ in range(num_crossover):
+                parent_a = tournament_select(population, self.rng)
+                parent_b = tournament_select(population, self.rng)
+                child, fitness = self._valid_individual(
+                    lambda: crossover_genomes(parent_a, parent_b, self.rng)
+                )
+                next_population.append((child, fitness))
+
+            num_mutation = int(config.mutation_fraction * config.population_size)
+            for _ in range(num_mutation):
+                parent = tournament_select(population, self.rng)
+                child, fitness = self._valid_individual(
+                    lambda: mutate_genome(parent, self.env, self.consumers,
+                                          self.output_name, self.rng, config.gpu)
+                )
+                next_population.append((child, fitness))
+
+            while len(next_population) < config.population_size:
+                next_population.append(self._valid_individual(self._random_individual))
+
+            population = next_population
+
+        population.sort(key=lambda pair: pair[1])
+        history.append(population[0][1])
+        best_genome, best_fitness = population[0]
+        return AutotuneResult(
+            best_genome=best_genome,
+            best_fitness=best_fitness,
+            history=history,
+            evaluations=self.evaluations,
+            invalid_candidates=self.invalid_candidates,
+        )

@@ -1,0 +1,152 @@
+"""Mutation rules for schedule genomes (Section 5, "Schedule Mutation Rules").
+
+Eight operations, chosen at random per mutation.  Six are generic: randomize
+constants, replace a function's schedule with a random one, copy another
+function's schedule, and add / remove / replace one domain transformation.
+The remaining two encode imaging-specific knowledge and are chosen with
+higher probability: a *loop fusion* rule that tiles the chosen function and
+recursively schedules its callees under the tile, and a *template* rule that
+replaces the schedule with one of the common patterns the paper samples from a
+text file.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.call_graph import find_direct_calls
+from repro.autotuner.random_schedule import random_gene
+from repro.autotuner.search_space import FunctionGene, POWER_OF_TWO_SIZES, ScheduleGenome
+from repro.core.function import Function
+
+__all__ = ["mutate_genome", "SCHEDULE_TEMPLATES", "apply_template"]
+
+
+# The three (plus one GPU) schedule templates of Section 5.
+SCHEDULE_TEMPLATES = ("compute_at_x_vectorized", "tiled_parallel", "parallel_y_vectorize_x",
+                      "gpu_tiled")
+
+
+def apply_template(template: str, func: Function, consumers: Dict[str, List[str]],
+                   rng: random.Random) -> FunctionGene:
+    """Instantiate one of the named schedule templates for a function."""
+    args = func.args
+    x = args[0] if args else "x"
+    y = args[1] if len(args) > 1 else x
+    if template == "compute_at_x_vectorized":
+        consumer_names = consumers.get(func.name, [])
+        if consumer_names and not func.has_updates():
+            consumer = rng.choice(consumer_names)
+            return FunctionGene(("at", consumer, "x"), [("vectorize", x, 4)])
+        return FunctionGene(("root",), [("vectorize", x, 4)])
+    if template == "tiled_parallel":
+        if len(args) >= 2:
+            return FunctionGene(("root",), [
+                ("tile", rng.choice((16, 32, 64)), rng.choice((16, 32, 64))),
+                ("vectorize", x, 4),
+                ("parallel", y),
+            ])
+        return FunctionGene(("root",), [("vectorize", x, 4)])
+    if template == "parallel_y_vectorize_x":
+        ops: List[Tuple] = [("vectorize", x, 4)]
+        if len(args) >= 2:
+            ops.append(("parallel", y))
+        return FunctionGene(("root",), ops)
+    if template == "gpu_tiled":
+        if len(args) >= 2:
+            return FunctionGene(("root",), [("gpu_tile", 16, 16)])
+        return FunctionGene(("root",), [])
+    raise ValueError(f"unknown template {template!r}")
+
+
+def _loop_fusion_rule(genome: ScheduleGenome, name: str, env: Dict[str, Function],
+                      rng: random.Random) -> None:
+    """Tile ``name`` and pull its producers into the tile (the fusion mutation)."""
+    func = env[name]
+    if len(func.args) < 2:
+        return
+    x, y = func.args[0], func.args[1]
+    genome.genes[name] = FunctionGene(
+        genome.genes[name].call_schedule if name in genome.genes else ("root",),
+        [("tile", rng.choice((16, 32, 64)), rng.choice((16, 32, 64))),
+         ("vectorize", x, 4), ("parallel", y)],
+    )
+    # Recursively schedule callees computed under the tile's inner x dimension,
+    # continuing with probability 1/2 at each step (the paper's coin flip).
+    frontier = [name]
+    visited = {name}
+    while frontier:
+        current = frontier.pop()
+        callees = [n for n in find_direct_calls(env[current]) if n in env and n not in visited]
+        for callee in callees:
+            visited.add(callee)
+            callee_func = env[callee]
+            if callee_func.has_updates():
+                continue
+            genome.genes[callee] = FunctionGene(
+                ("at", name, f"{x}_o"), [("vectorize", callee_func.args[0], 4)]
+                if callee_func.args else [],
+            )
+            if rng.random() < 0.5:
+                frontier.append(callee)
+
+
+def mutate_genome(genome: ScheduleGenome, env: Dict[str, Function],
+                  consumers: Dict[str, List[str]], output_name: str,
+                  rng: random.Random, gpu: bool = False) -> ScheduleGenome:
+    """Return a mutated copy of ``genome``."""
+    result = genome.copy()
+    candidates = [n for n in result.genes if n in env]
+    if not candidates:
+        return result
+    name = rng.choice(candidates)
+    func = env[name]
+    gene = result.genes[name]
+
+    # The two imaging-specific rules get higher probability, as in the paper.
+    operations = [
+        "randomize_constants", "replace_random", "copy_other",
+        "add_op", "remove_op", "replace_op",
+        "loop_fusion", "loop_fusion",
+        "template", "template",
+    ]
+    operation = rng.choice(operations)
+
+    if operation == "randomize_constants":
+        new_ops = []
+        for op in gene.domain_ops:
+            new_op = list(op)
+            for i, value in enumerate(new_op):
+                if isinstance(value, int):
+                    new_op[i] = rng.choice(POWER_OF_TWO_SIZES)
+            new_ops.append(tuple(new_op))
+        result.genes[name] = FunctionGene(gene.call_schedule, new_ops)
+    elif operation == "replace_random":
+        result.genes[name] = random_gene(func, env, consumers, rng, gpu)
+    elif operation == "copy_other":
+        other = rng.choice(candidates)
+        result.genes[name] = result.genes[other].copy()
+        if func.has_updates() and result.genes[name].call_schedule[0] == "inline":
+            result.genes[name].call_schedule = ("root",)
+    elif operation == "add_op":
+        extra = random_gene(func, env, consumers, rng, gpu).domain_ops[:1]
+        result.genes[name] = FunctionGene(gene.call_schedule, gene.domain_ops + extra)
+    elif operation == "remove_op":
+        if gene.domain_ops:
+            index = rng.randrange(len(gene.domain_ops))
+            ops = gene.domain_ops[:index] + gene.domain_ops[index + 1:]
+            result.genes[name] = FunctionGene(gene.call_schedule, ops)
+    elif operation == "replace_op":
+        if gene.domain_ops:
+            index = rng.randrange(len(gene.domain_ops))
+            replacement = random_gene(func, env, consumers, rng, gpu).domain_ops[:1]
+            ops = list(gene.domain_ops)
+            ops[index:index + 1] = replacement
+            result.genes[name] = FunctionGene(gene.call_schedule, ops)
+    elif operation == "loop_fusion":
+        _loop_fusion_rule(result, name, env, rng)
+    elif operation == "template":
+        templates = SCHEDULE_TEMPLATES if gpu else SCHEDULE_TEMPLATES[:3]
+        result.genes[name] = apply_template(rng.choice(templates), func, consumers, rng)
+    return result

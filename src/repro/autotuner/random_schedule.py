@@ -1,0 +1,173 @@
+"""Random and "reasonable" schedule generation (the tuner's starting points).
+
+As in Section 5 of the paper, the search can start from a pure breadth-first
+schedule, but it converges faster when seeded with reasonable schedules:
+functions with a footprint of one are inlined, and the remaining functions are
+stochastically scheduled either fully parallelized-and-tiled (tiled over x and
+y, vectorized within the tile's inner x, parallel over the outer y) or simply
+parallelized over y.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.autotuner.search_space import (
+    FunctionGene,
+    MAX_DOMAIN_OPS,
+    POWER_OF_TWO_SIZES,
+    ScheduleGenome,
+)
+from repro.core.function import Function
+
+__all__ = ["random_gene", "random_genome", "reasonable_genome", "breadth_first_genome",
+           "consumer_loops_of"]
+
+
+def consumer_loops_of(func: Function, env: Dict[str, Function],
+                      consumers: Dict[str, List[str]]) -> List[Tuple[str, str]]:
+    """Candidate (consumer, loop var) pairs this function could be computed at."""
+    result: List[Tuple[str, str]] = []
+    for consumer_name in consumers.get(func.name, []):
+        consumer = env.get(consumer_name)
+        if consumer is None or consumer.schedule is None:
+            continue
+        for arg in consumer.args:
+            result.append((consumer_name, arg))
+    return result
+
+
+def _small_dims(func: Function) -> List[str]:
+    """Storage dimensions with a small declared bound (e.g. color channels)."""
+    if func.schedule is None:
+        return []
+    return [d for d, (mn, extent) in func.schedule.bounds.items() if extent <= 4]
+
+
+def random_gene(func: Function, env: Dict[str, Function],
+                consumers: Dict[str, List[str]], rng: random.Random,
+                gpu: bool = False) -> FunctionGene:
+    """An independently random (possibly invalid) gene for one function."""
+    choices = ["inline", "root", "at"]
+    weights = [0.3, 0.4, 0.3]
+    kind = rng.choices(choices, weights)[0]
+
+    call_schedule: Tuple = ("inline",)
+    if kind == "root" or func.has_updates():
+        call_schedule = ("root",)
+    elif kind == "at":
+        candidates = consumer_loops_of(func, env, consumers)
+        if candidates:
+            consumer, var = rng.choice(candidates)
+            if rng.random() < 0.3:
+                # Sliding-window shape: store one loop further out.
+                consumer_func = env[consumer]
+                args = consumer_func.args
+                index = args.index(var) if var in args else 0
+                store_var = args[min(index + 1, len(args) - 1)]
+                call_schedule = ("at_store", consumer, store_var, var)
+            else:
+                call_schedule = ("at", consumer, var)
+        else:
+            call_schedule = ("root",)
+
+    domain_ops: List[Tuple] = []
+    small = set(_small_dims(func))
+    tileable = [d for d in func.args[:2] if d not in small]
+    num_ops = rng.randint(0, MAX_DOMAIN_OPS - 1)
+    for _ in range(num_ops):
+        op_kind = rng.choice(["split", "tile", "parallel", "vectorize", "unroll"])
+        if op_kind == "tile" and len(tileable) >= 2 and not any(o[0] in ("tile", "gpu_tile") for o in domain_ops):
+            domain_ops.append(("tile", rng.choice(POWER_OF_TWO_SIZES), rng.choice(POWER_OF_TWO_SIZES)))
+        elif op_kind == "split" and tileable:
+            domain_ops.append(("split", rng.choice(tileable), rng.choice(POWER_OF_TWO_SIZES)))
+        elif op_kind == "parallel" and len(func.args) >= 2:
+            domain_ops.append(("parallel", func.args[-1]))
+        elif op_kind == "vectorize" and tileable:
+            domain_ops.append(("vectorize", func.args[0], rng.choice((4, 8))))
+        elif op_kind == "unroll" and tileable:
+            domain_ops.append(("unroll", func.args[0], rng.choice((2, 4))))
+    if gpu and len(tileable) >= 2 and rng.random() < 0.5:
+        domain_ops = [("gpu_tile", rng.choice((8, 16)), rng.choice((8, 16)))]
+    return FunctionGene(call_schedule, _dedupe_ops(domain_ops))
+
+
+def _dedupe_ops(ops: List[Tuple]) -> List[Tuple]:
+    """Drop ops that would re-split the same dimension (always invalid)."""
+    seen_kinds = set()
+    result = []
+    for op in ops:
+        key = (op[0], op[1] if len(op) > 1 and isinstance(op[1], str) else None)
+        if key in seen_kinds:
+            continue
+        seen_kinds.add(key)
+        result.append(op)
+    return result
+
+
+def breadth_first_genome(env: Dict[str, Function]) -> ScheduleGenome:
+    """Every function computed and stored at root (the paper's safe starting point)."""
+    return ScheduleGenome({name: FunctionGene(("root",), []) for name in env})
+
+
+def reasonable_genome(env: Dict[str, Function], consumers: Dict[str, List[str]],
+                      output_name: str, rng: random.Random,
+                      gpu: bool = False) -> ScheduleGenome:
+    """A domain-informed starting point (Section 5, "Search Starting Point").
+
+    Functions with footprint one are inlined; the rest are either fully
+    parallelized-and-tiled or simply parallelized over y, chosen by a weighted
+    coin whose weight is itself drawn per individual.
+    """
+    genome = ScheduleGenome()
+    tile_bias = rng.random()
+    for name, func in env.items():
+        if func.schedule is None:
+            continue
+        pointwise = _has_footprint_one(func, env)
+        if pointwise and name != output_name and not func.has_updates():
+            genome.genes[name] = FunctionGene(("inline",), [])
+            continue
+        domain_ops: List[Tuple] = []
+        if len(func.args) >= 2 and rng.random() < tile_bias:
+            if gpu:
+                domain_ops = [("gpu_tile", 16, 16)]
+            else:
+                domain_ops = [
+                    ("tile", rng.choice((16, 32, 64)), rng.choice((16, 32, 64))),
+                    ("vectorize", func.args[0], 4),
+                    ("parallel", func.args[1]),
+                ]
+        elif len(func.args) >= 2:
+            domain_ops = [("parallel", func.args[1]), ("vectorize", func.args[0], 4)]
+        genome.genes[name] = FunctionGene(("root",), domain_ops)
+    return genome
+
+
+def _has_footprint_one(func: Function, env: Dict[str, Function]) -> bool:
+    """True if every read of this function by its consumers is point-wise.
+
+    Approximated syntactically: the function itself reads its own inputs at a
+    single site per producer (no stencil), which is the common case for
+    point-wise wrappers like boundary conditions and color-space conversions.
+    """
+    from repro.metrics.pipeline_stats import _is_stencil
+
+    return not _is_stencil(func) and not func.has_updates()
+
+
+def random_genome(env: Dict[str, Function], consumers: Dict[str, List[str]],
+                  output_name: str, rng: random.Random,
+                  gpu: bool = False) -> ScheduleGenome:
+    """A fully random genome: every function scheduled independently at random."""
+    genome = ScheduleGenome()
+    for name, func in env.items():
+        if func.schedule is None:
+            continue
+        if name == output_name:
+            gene = FunctionGene(("root",), random_gene(func, env, consumers, rng, gpu).domain_ops)
+        else:
+            gene = random_gene(func, env, consumers, rng, gpu)
+        genome.genes[name] = gene
+    return genome

@@ -1,0 +1,190 @@
+"""The schedule search space: genomes the genetic algorithm manipulates.
+
+A genome assigns one :class:`FunctionGene` to every (non-output) function of
+the pipeline.  Genes are declarative — a small list of domain transformations
+plus a call-schedule choice — and are converted to concrete
+:class:`~repro.core.schedule.FuncSchedule` objects on demand.  As in the
+paper, each function is scheduled identically across all its call sites, block
+size arguments are small powers of two, and the number of domain operations
+per function is limited to keep generated code bounded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.function import Function
+from repro.core.loop_level import LoopLevel
+from repro.core.schedule import FuncSchedule, ScheduleError
+
+__all__ = ["FunctionGene", "ScheduleGenome", "POWER_OF_TWO_SIZES", "MAX_DOMAIN_OPS"]
+
+#: Block/vector sizes are drawn from small powers of two (Section 5).
+POWER_OF_TWO_SIZES = (2, 4, 8, 16, 32, 64)
+
+#: Limit on domain scheduling operations per function, to prevent code explosion.
+MAX_DOMAIN_OPS = 4
+
+
+@dataclass
+class FunctionGene:
+    """The schedule of one function, in genome form.
+
+    ``call_schedule`` is one of:
+
+    * ``("inline",)``
+    * ``("root",)``
+    * ``("at", consumer_name, consumer_var)`` — compute (and store) at a loop
+      of a consumer;
+    * ``("at_store", consumer_name, store_var, compute_var)`` — store at one
+      loop, compute at a deeper loop (the sliding-window shape).
+
+    ``domain_ops`` is a list of transformation tuples:
+
+    * ``("split", var, factor)``
+    * ``("tile", xfactor, yfactor)`` — split the two innermost storage dims
+    * ``("reorder", (v0, v1, ...))``
+    * ``("parallel", var)`` / ``("vectorize", var, width)`` / ``("unroll", var, n)``
+    * ``("gpu_tile", xfactor, yfactor)``
+    """
+
+    call_schedule: Tuple = ("inline",)
+    domain_ops: List[Tuple] = field(default_factory=list)
+
+    def copy(self) -> "FunctionGene":
+        return FunctionGene(self.call_schedule, [tuple(op) for op in self.domain_ops])
+
+
+@dataclass
+class ScheduleGenome:
+    """A complete candidate schedule: one gene per function (output included)."""
+
+    genes: Dict[str, FunctionGene] = field(default_factory=dict)
+
+    def copy(self) -> "ScheduleGenome":
+        return ScheduleGenome({name: gene.copy() for name, gene in self.genes.items()})
+
+    # ------------------------------------------------------------------
+    # conversion to concrete schedules
+    # ------------------------------------------------------------------
+    def to_schedules(self, env: Dict[str, Function],
+                     output_name: str) -> Dict[str, FuncSchedule]:
+        """Materialize the genome as FuncSchedule overrides for the compiler.
+
+        Raises :class:`~repro.core.schedule.ScheduleError` if any gene is
+        inconsistent (unknown dimensions etc.); the tuner treats that as an
+        invalid individual and resamples.
+        """
+        schedules: Dict[str, FuncSchedule] = {}
+        for name, gene in self.genes.items():
+            func = env.get(name)
+            if func is None or func.schedule is None:
+                continue
+            schedule = FuncSchedule(func.args)
+            _apply_domain_ops(schedule, gene.domain_ops)
+            _apply_call_schedule(schedule, gene.call_schedule, func, output_name)
+            schedules[name] = schedule
+        return schedules
+
+    def describe(self) -> str:
+        lines = []
+        for name in sorted(self.genes):
+            gene = self.genes[name]
+            lines.append(f"{name}: {gene.call_schedule} {gene.domain_ops}")
+        return "\n".join(lines)
+
+
+def _resolve_dim(schedule: FuncSchedule, var: str, prefer_inner: bool) -> str:
+    """Map a storage-dimension name to the loop dimension it currently lives in.
+
+    After a ``tile`` op, the original x/y dimensions have been split; follow-up
+    ops referring to "x" target the inner (for vectorize/unroll) or outer (for
+    parallel) derived dimension instead of failing.
+    """
+    if schedule.has_dim(var):
+        return var
+    candidates = (f"{var}_i", f"{var}_o") if prefer_inner else (f"{var}_o", f"{var}_i")
+    for candidate in candidates:
+        if schedule.has_dim(candidate):
+            return candidate
+    raise ScheduleError(f"no loop dimension for {var!r} in {schedule.dim_names()}")
+
+
+def _apply_domain_ops(schedule: FuncSchedule, ops: Sequence[Tuple]) -> None:
+    for op in ops[:MAX_DOMAIN_OPS]:
+        kind = op[0]
+        if kind == "split":
+            _, var, factor = op
+            var = _resolve_dim(schedule, var, prefer_inner=True)
+            schedule.split(var, f"{var}_o", f"{var}_i", int(factor))
+        elif kind == "tile":
+            _, xfactor, yfactor = op
+            dims = schedule.storage_dims
+            if len(dims) < 2:
+                raise ScheduleError("tile requires at least two storage dimensions")
+            x, y = dims[0], dims[1]
+            schedule.split(x, f"{x}_o", f"{x}_i", int(xfactor))
+            schedule.split(y, f"{y}_o", f"{y}_i", int(yfactor))
+            schedule.reorder([f"{x}_i", f"{y}_i", f"{x}_o", f"{y}_o"])
+        elif kind == "reorder":
+            schedule.reorder(list(op[1]))
+        elif kind == "parallel":
+            schedule.parallel(_resolve_dim(schedule, op[1], prefer_inner=False))
+        elif kind == "vectorize":
+            _, var, width = op
+            var = _resolve_dim(schedule, var, prefer_inner=True)
+            if schedule.constant_extent(var) == int(width):
+                schedule.vectorize(var)
+            else:
+                schedule.split(var, f"{var}_vo", f"{var}_vi", int(width))
+                schedule.vectorize(f"{var}_vi")
+        elif kind == "unroll":
+            _, var, count = op
+            var = _resolve_dim(schedule, var, prefer_inner=True)
+            if schedule.constant_extent(var) == int(count):
+                schedule.unroll(var)
+            else:
+                schedule.split(var, f"{var}_uo", f"{var}_ui", int(count))
+                schedule.unroll(f"{var}_ui")
+        elif kind == "gpu_tile":
+            _, xfactor, yfactor = op
+            dims = schedule.storage_dims
+            if len(dims) < 2:
+                raise ScheduleError("gpu_tile requires at least two storage dimensions")
+            x, y = dims[0], dims[1]
+            schedule.split(x, f"{x}_blk", f"{x}_thr", int(xfactor))
+            schedule.split(y, f"{y}_blk", f"{y}_thr", int(yfactor))
+            schedule.reorder([f"{x}_thr", f"{y}_thr", f"{x}_blk", f"{y}_blk"])
+            schedule.gpu_threads(f"{x}_thr")
+            schedule.gpu_threads(f"{y}_thr")
+            schedule.gpu_blocks(f"{x}_blk")
+            schedule.gpu_blocks(f"{y}_blk")
+        else:
+            raise ScheduleError(f"unknown domain op {kind!r}")
+
+
+def _apply_call_schedule(schedule: FuncSchedule, call_schedule: Tuple,
+                         func: Function, output_name: str) -> None:
+    kind = call_schedule[0]
+    if func.name == output_name:
+        schedule.compute_root()
+        return
+    if kind == "inline":
+        if func.has_updates():
+            schedule.compute_root()
+        else:
+            schedule.compute_inline()
+    elif kind == "root":
+        schedule.compute_root()
+    elif kind == "at":
+        _, consumer, var = call_schedule
+        schedule.compute_at(LoopLevel.at(consumer, var))
+        schedule.store_at(LoopLevel.at(consumer, var))
+    elif kind == "at_store":
+        _, consumer, store_var, compute_var = call_schedule
+        schedule.store_at(LoopLevel.at(consumer, store_var))
+        schedule.compute_at(LoopLevel.at(consumer, compute_var))
+    else:
+        raise ScheduleError(f"unknown call schedule {kind!r}")

@@ -1,0 +1,18 @@
+"""The compiler: lowering, bounds inference, and the loop-level optimizations.
+
+The passes run in the order described in Section 4 of the paper (see
+:func:`repro.compiler.lower.lower`):
+
+1. inline stages scheduled inline,
+2. lowering / loop synthesis (:mod:`repro.compiler.schedule_functions`),
+3. bounds inference by interval analysis (:mod:`repro.compiler.bounds_inference`),
+4. sliding-window optimization and storage folding,
+5. flattening of multi-dimensional sites to 1-D buffer indices,
+6. unrolling and vectorization,
+7. simplification, ready for a backend (the interpreter or the Python code
+   generator in :mod:`repro.runtime`).
+"""
+
+from repro.compiler.lower import LoweredPipeline, LoweringOptions, lower
+
+__all__ = ["lower", "LoweredPipeline", "LoweringOptions"]

@@ -1,0 +1,144 @@
+"""Storage flattening (Section 4.4 of the paper).
+
+Multi-dimensional Realize/Provide/Call sites are converted to one-dimensional
+Allocate/Store/Load nodes.  A stride and minimum offset are computed for each
+dimension; the flat index of a site is the dot product of its coordinates and
+the strides, minus the offset of the region's minimum corner.  The stride of
+the innermost (first) dimension is always 1, so dense vector loads and stores
+remain dense after vectorization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.function import Function
+from repro.ir import expr as E
+from repro.ir import op
+from repro.ir import stmt as S
+from repro.ir.mutator import IRMutator
+from repro.types import Int, Type
+
+__all__ = ["flatten_storage", "BufferLayout"]
+
+
+class BufferLayout:
+    """The flattened layout of one realized buffer: mins, extents, strides (expressions).
+
+    When ``use_stride_vars`` is true the strides are symbolic variables
+    (``<name>.stride.<i>``) defined by let-statements emitted around the
+    allocation; otherwise they are the running product of the extents
+    (appropriate for input images whose extents are compile-time constants).
+    """
+
+    __slots__ = ("name", "mins", "extents", "strides")
+
+    def __init__(self, name: str, mins: Sequence[E.Expr], extents: Sequence[E.Expr],
+                 use_stride_vars: bool = True):
+        self.name = name
+        self.mins = list(mins)
+        self.extents = list(extents)
+        self.strides: List[E.Expr] = []
+        running: E.Expr = op.const(1)
+        for i, extent in enumerate(self.extents):
+            if use_stride_vars:
+                self.strides.append(E.Variable(f"{name}.stride.{i}", Int(32)))
+            else:
+                self.strides.append(running)
+            running = running * extent
+
+    def flat_index(self, args: Sequence[E.Expr]) -> E.Expr:
+        index: Optional[E.Expr] = None
+        for arg, mn, stride in zip(args, self.mins, self.strides):
+            term = (arg - mn) * stride
+            index = term if index is None else index + term
+        return index if index is not None else op.const(0)
+
+    def total_size(self) -> E.Expr:
+        size: E.Expr = op.const(1)
+        for extent in self.extents:
+            size = size * extent
+        return size
+
+    def stride_lets(self) -> List[Tuple[str, E.Expr]]:
+        """(name, value) pairs defining the stride variables, outermost first."""
+        lets: List[Tuple[str, E.Expr]] = []
+        running: E.Expr = op.const(1)
+        for i, extent in enumerate(self.extents):
+            lets.append((f"{self.name}.stride.{i}", running))
+            running = running * extent
+        return lets
+
+
+def _buffer_layout_for_image(call: E.Call) -> BufferLayout:
+    """Layout of an input image (a concrete Buffer or a bound/unbound ImageParam)."""
+    target = call.target
+    name = call.name
+    if target is not None and hasattr(target, "array"):
+        shape = target.array.shape
+        return BufferLayout(name, [op.const(0)] * len(shape),
+                            [op.const(int(s)) for s in shape], use_stride_vars=False)
+    if target is not None and hasattr(target, "is_bound") and target.is_bound():
+        shape = target.get().array.shape
+        return BufferLayout(name, [op.const(0)] * len(shape),
+                            [op.const(int(s)) for s in shape], use_stride_vars=False)
+    # Unbound image parameter: symbolic mins/extents/strides supplied by the runtime.
+    dims = len(call.args)
+    return BufferLayout(
+        name,
+        [E.Variable(f"{name}.min.{i}", Int(32)) for i in range(dims)],
+        [E.Variable(f"{name}.extent.{i}", Int(32)) for i in range(dims)],
+        use_stride_vars=True,
+    )
+
+
+class _Flattener(IRMutator):
+    def __init__(self, env: Dict[str, Function]):
+        self.env = env
+        self.layouts: Dict[str, BufferLayout] = {}
+        self.image_layouts: Dict[str, BufferLayout] = {}
+
+    # -- storage sites -----------------------------------------------------
+    def visit_Realize(self, node: S.Realize):
+        mins = [b[0] for b in node.bounds]
+        extents = [b[1] for b in node.bounds]
+        layout = BufferLayout(node.name, mins, extents)
+        self.layouts[node.name] = layout
+        body = self.mutate(node.body)
+        result: S.Stmt = S.Allocate(node.name, node.type, layout.total_size(), body)
+        for let_name, let_value in reversed(layout.stride_lets()):
+            result = S.LetStmt(let_name, let_value, result)
+        return result
+
+    def visit_Provide(self, node: S.Provide):
+        args = [self.mutate(a) for a in node.args]
+        value = self.mutate(node.value)
+        layout = self.layouts.get(node.name)
+        if layout is None:
+            raise RuntimeError(f"store to {node.name!r} outside any realization")
+        return S.Store(node.name, value, layout.flat_index(args))
+
+    # -- read sites ---------------------------------------------------------
+    def visit_Call(self, node: E.Call):
+        args = [self.mutate(a) for a in node.args]
+        if node.call_type == E.CallType.HALIDE:
+            layout = self.layouts.get(node.name)
+            if layout is None:
+                raise RuntimeError(f"load from {node.name!r} outside any realization")
+            return E.Load(node.type, node.name, layout.flat_index(args))
+        if node.call_type == E.CallType.IMAGE:
+            layout = self.image_layouts.get(node.name)
+            if layout is None:
+                layout = _buffer_layout_for_image(node)
+                self.image_layouts[node.name] = layout
+            return E.Load(node.type, node.name, layout.flat_index(args))
+        if all(a is b for a, b in zip(args, node.args)):
+            return node
+        return E.Call(node.type, node.name, args, node.call_type, node.target)
+
+
+def flatten_storage(stmt: S.Stmt, env: Dict[str, Function]):
+    """Flatten all storage; returns (stmt, realize layouts, input-image layouts)."""
+    flattener = _Flattener(env)
+    result = flattener.mutate(stmt)
+    return result, flattener.layouts, flattener.image_layouts

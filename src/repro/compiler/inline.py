@@ -1,0 +1,75 @@
+"""Inlining of stages scheduled ``compute_inline``.
+
+Inlining substitutes a producer's defining expression directly into each call
+site, renaming the producer's pure variables to the call arguments.  It is the
+finest-grained point of the fusion axis: values are recomputed at every use,
+maximizing locality and parallelism at the cost of redundant work (the "total
+fusion" strategy of Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compiler.substitute import substitute
+from repro.core.function import Function
+from repro.ir import expr as E
+from repro.ir.mutator import IRMutator
+
+__all__ = ["inline_function", "inline_all_inlined"]
+
+
+class _Inliner(IRMutator):
+    def __init__(self, function: Function):
+        self.function = function
+
+    def visit_Call(self, node: E.Call):
+        args = [self.mutate(a) for a in node.args]
+        if node.call_type == E.CallType.HALIDE and node.name == self.function.name:
+            definition = self.function.definition
+            replacements = {name: arg for name, arg in zip(definition.args, args)}
+            body = substitute(definition.value, replacements)
+            # The inlined body may itself contain calls to the function being
+            # inlined only if the function is recursive, which pure stages
+            # cannot be; no further rewriting needed.
+            return body
+        if all(a is b for a, b in zip(args, node.args)):
+            return node
+        return E.Call(node.type, node.name, args, node.call_type, node.target)
+
+
+def inline_function(node, function: Function):
+    """Replace every call to ``function`` inside ``node`` by its definition."""
+    if not function.can_be_inlined():
+        raise ValueError(
+            f"function {function.name!r} has update definitions and cannot be inlined"
+        )
+    return _Inliner(function).mutate(node)
+
+
+def inline_all_inlined(env: Dict[str, Function], order) -> Dict[str, Function]:
+    """Inline every stage scheduled inline into its consumers.
+
+    Returns a new environment containing only the non-inlined stages, whose
+    definitions have had all inlined callees substituted away.  ``order`` is a
+    realization order (producers first), so inlining proceeds producer-to-
+    consumer and handles chains of inlined stages.
+    """
+    live: Dict[str, Function] = dict(env)
+    for name in order:
+        func = live.get(name)
+        if func is None or func.schedule is None:
+            continue
+        if not func.schedule.is_inlined():
+            continue
+        # Substitute this function into every other stage's definitions.
+        for other_name, other in live.items():
+            if other_name == name:
+                continue
+            if other.definition is not None:
+                other.definition.value = inline_function(other.definition.value, func)
+            for update in other.updates:
+                update.value = inline_function(update.value, func)
+                update.args = [inline_function(a, func) for a in update.args]
+        del live[name]
+    return live

@@ -1,0 +1,181 @@
+"""The lowering driver: algorithm + schedule -> executable statement.
+
+This mirrors the pass pipeline of Figure 5 in the paper:
+
+    lowering -> bounds inference -> sliding window & storage folding ->
+    flattening -> vectorization & unrolling -> simplification -> backend
+
+Each pass can be disabled through :class:`LoweringOptions`, which the ablation
+benchmarks use to quantify the contribution of individual optimizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.call_graph import build_environment, realization_order
+from repro.compiler.bounds_inference import bounds_inference
+from repro.compiler.flatten import BufferLayout, flatten_storage
+from repro.compiler.inline import inline_all_inlined
+from repro.compiler.schedule_functions import schedule_functions
+from repro.compiler.simplify import simplify
+from repro.compiler.sliding_window import sliding_window
+from repro.compiler.storage_folding import storage_folding
+from repro.compiler.unroll import unroll_loops
+from repro.compiler.validation import validate_schedules
+from repro.compiler.vectorize import vectorize_loops
+from repro.core.function import Function
+from repro.core.schedule import FuncSchedule
+from repro.ir import stmt as S
+
+__all__ = ["LoweringOptions", "LoweredPipeline", "lower"]
+
+
+@dataclass
+class LoweringOptions:
+    """Switches controlling which optimization passes run (all on by default)."""
+
+    sliding_window: bool = True
+    storage_folding: bool = True
+    vectorize: bool = True
+    unroll: bool = True
+    simplify: bool = True
+
+
+@dataclass
+class LoweredPipeline:
+    """The result of lowering: the statement plus everything the runtime needs."""
+
+    stmt: S.Stmt
+    env: Dict[str, Function]
+    output: Function
+    #: Layouts of realized (internal + output) buffers, keyed by function name.
+    layouts: Dict[str, BufferLayout]
+    #: Layouts of input images, keyed by buffer / image-parameter name.
+    image_layouts: Dict[str, BufferLayout]
+    #: Storage folds applied, func -> dim -> fold factor.
+    folds: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Sliding windows applied, func -> serial loop name it slides along.
+    slides: Dict[str, str] = field(default_factory=dict)
+    options: LoweringOptions = field(default_factory=LoweringOptions)
+
+
+def _demote_loops(stmt: S.Stmt, which: S.ForType) -> S.Stmt:
+    """Turn loops of one kind back into serial loops (used by pass ablations)."""
+    from repro.ir.mutator import IRMutator
+
+    class _Demote(IRMutator):
+        def visit_For(self, node: S.For):
+            body = self.mutate(node.body)
+            for_type = S.ForType.SERIAL if node.for_type == which else node.for_type
+            if body is node.body and for_type == node.for_type:
+                return node
+            return S.For(node.name, node.min, node.extent, for_type, body)
+
+    return _Demote().mutate(stmt)
+
+
+def _prepare_environment(output_function: Function,
+                         schedule_overrides: Optional[Dict[str, FuncSchedule]]):
+    """Build a compilation-private environment (copies of every reachable Function)."""
+    original_env = build_environment([output_function])
+    order = realization_order([output_function], original_env)
+
+    overrides = schedule_overrides or {}
+    env: Dict[str, Function] = {}
+    for name, func in original_env.items():
+        env[name] = func.copy_for_compilation(overrides.get(name))
+    output = env[output_function.name]
+    return env, order, output
+
+
+def lower(output_function: Function,
+          schedule_overrides: Optional[Dict[str, FuncSchedule]] = None,
+          options: Optional[LoweringOptions] = None,
+          output_bounds: Optional[Sequence] = None) -> LoweredPipeline:
+    """Lower a pipeline rooted at ``output_function`` into an executable statement.
+
+    ``output_bounds`` optionally gives concrete ``(min, extent)`` pairs for the
+    output dimensions.  When provided, they are substituted before bounds
+    inference, so every inferred region folds down to constants — the bounds
+    "ultimately depend only on the size of the output image" (Section 4.2), and
+    specializing on that size keeps the inferred expressions small for deep
+    pipelines.  Without it, bounds stay symbolic and are bound at run time.
+    """
+    import sys
+
+    # Inlining long chains of stages produces deep expression trees; the
+    # tree-walking passes recurse over them.
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 100000))
+    options = options or LoweringOptions()
+    env, order, output = _prepare_environment(output_function, schedule_overrides)
+
+    # The output is always computed at root, and stages with update definitions
+    # (reductions) cannot be inlined: give unscheduled ones the breadth-first
+    # default, matching the paper's "computed and stored at root" starting point.
+    output.schedule.compute_root()
+    for func in env.values():
+        if func is not output and func.has_updates() and func.schedule.is_inlined():
+            func.schedule.compute_root()
+
+    validate_schedules(env, order, output)
+
+    # 1. Inline every stage scheduled inline.
+    live_env = inline_all_inlined(env, order)
+    live_env[output.name] = output
+    live_order = [name for name in order if name in live_env]
+
+    # 2. Loop synthesis.
+    stmt = schedule_functions(live_env, live_order, output)
+
+    # Optional specialization on the requested output region.
+    if output_bounds is not None:
+        from repro.compiler.substitute import substitute
+        from repro.ir import op as _op
+
+        replacements = {}
+        for dim, (mn, extent) in zip(output.args, output_bounds):
+            replacements[f"{output.name}.{dim}.min"] = _op.const(int(mn))
+            replacements[f"{output.name}.{dim}.extent"] = _op.const(int(extent))
+        stmt = substitute(stmt, replacements)
+
+    # 3. Bounds inference.
+    stmt = bounds_inference(stmt, live_env, [output.name])
+
+    # 4. Storage folding, then sliding window (folding uses the un-slid window size).
+    folds: Dict[str, Dict[str, int]] = {}
+    slides: Dict[str, str] = {}
+    if options.storage_folding:
+        stmt, folds = storage_folding(stmt, live_env)
+    if options.sliding_window:
+        stmt, slides = sliding_window(stmt, live_env)
+
+    # 5. Flattening.
+    stmt, layouts, image_layouts = flatten_storage(stmt, live_env)
+
+    # 6. Unrolling and vectorization.  When a pass is disabled (ablations), the
+    # corresponding loops fall back to serial execution.
+    if options.unroll:
+        stmt = unroll_loops(stmt)
+    else:
+        stmt = _demote_loops(stmt, S.ForType.UNROLLED)
+    if options.vectorize:
+        stmt = vectorize_loops(stmt)
+    else:
+        stmt = _demote_loops(stmt, S.ForType.VECTORIZED)
+
+    # 7. Simplification.
+    if options.simplify:
+        stmt = simplify(stmt)
+
+    return LoweredPipeline(
+        stmt=stmt,
+        env=live_env,
+        output=output,
+        layouts=layouts,
+        image_layouts=image_layouts,
+        folds=folds,
+        slides=slides,
+        options=options,
+    )

@@ -1,0 +1,181 @@
+"""Storage folding (Section 4.3 of the paper).
+
+If a function's storage is allocated outside a serial loop but each iteration
+only touches a window of bounded size that marches monotonically across the
+allocation, the storage can be folded: accesses are rewritten modulo a small
+power of two and the allocation shrinks to that size.  For the two-stage blur
+with a sliding window this reduces the intermediate stage to three (rounded to
+four) scanlines, cutting peak memory and working-set size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.bounds import box_touched
+from repro.analysis.linear import constant_difference
+from repro.analysis.monotonic import Monotonic, is_monotonic
+from repro.core.function import Function
+from repro.ir import expr as E
+from repro.ir import op
+from repro.ir import stmt as S
+from repro.ir.mutator import IRMutator
+from repro.ir.visitor import IRVisitor
+
+__all__ = ["storage_folding", "MAX_FOLD_FACTOR"]
+
+#: Folding is only worthwhile for small windows; beyond this we leave storage alone.
+MAX_FOLD_FACTOR = 256
+
+
+def _round_up_to_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+class _AccessRewriter(IRMutator):
+    """Rewrite accesses to one function so that dimension ``dim_index`` wraps mod ``factor``."""
+
+    def __init__(self, name: str, dim_index: int, factor: int):
+        self.name = name
+        self.dim_index = dim_index
+        self.factor = factor
+
+    def _fold(self, args) -> List[E.Expr]:
+        new_args = list(args)
+        new_args[self.dim_index] = op.make_binary(E.Mod, new_args[self.dim_index], self.factor)
+        return new_args
+
+    def visit_Call(self, node: E.Call):
+        args = [self.mutate(a) for a in node.args]
+        if node.call_type == E.CallType.HALIDE and node.name == self.name:
+            args = self._fold(args)
+        return E.Call(node.type, node.name, args, node.call_type, node.target)
+
+    def visit_Provide(self, node: S.Provide):
+        args = [self.mutate(a) for a in node.args]
+        value = self.mutate(node.value)
+        if node.name == self.name:
+            args = self._fold(args)
+        return S.Provide(node.name, value, args)
+
+
+class _SerialChainChecker(IRVisitor):
+    """Checks that every loop between a Realize and the produce of its function is serial."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.all_serial = True
+        self._stack: List[S.For] = []
+
+    def visit_For(self, node: S.For):
+        self._stack.append(node)
+        self.visit(node.body)
+        self._stack.pop()
+
+    def visit_ProducerConsumer(self, node: S.ProducerConsumer):
+        if node.is_producer and node.name == self.name:
+            if any(f.for_type != S.ForType.SERIAL for f in self._stack):
+                self.all_serial = False
+        self.visit(node.body)
+
+
+def _find_compute_lets(body: S.Stmt, name: str) -> Dict[str, E.Expr]:
+    """The values of the <name>.<dim>.{min,max} lets wrapping the produce of ``name``."""
+    found: Dict[str, E.Expr] = {}
+
+    class _Finder(IRVisitor):
+        def visit_LetStmt(self, node: S.LetStmt):
+            if node.name.startswith(name + ".") and (
+                node.name.endswith(".min") or node.name.endswith(".max")
+            ):
+                found.setdefault(node.name, node.value)
+            self.visit(node.value)
+            self.visit(node.body)
+
+    _Finder().visit(body)
+    return found
+
+
+class _StorageFolder(IRMutator):
+    def __init__(self, env: Dict[str, Function]):
+        self.env = env
+        self.folds: Dict[str, Dict[str, int]] = {}
+
+    def visit_Realize(self, node: S.Realize):
+        body = self.mutate(node.body)
+        func = self.env.get(node.name)
+        if func is None:
+            if body is node.body:
+                return node
+            return S.Realize(node.name, node.type, node.bounds, body)
+
+        checker = _SerialChainChecker(node.name)
+        checker.visit(body)
+        bounds = list(node.bounds)
+        if checker.all_serial:
+            body, bounds = self._try_fold(func, body, bounds)
+        return S.Realize(node.name, node.type, bounds, body)
+
+    def _try_fold(self, func: Function, body: S.Stmt,
+                  bounds: List[Tuple[E.Expr, E.Expr]]):
+        lets = _find_compute_lets(body, func.name)
+        loop_names = _loop_names_between(body, func.name)
+        for dim_index, dim in enumerate(func.args):
+            min_expr = lets.get(f"{func.name}.{dim}.min")
+            max_expr = lets.get(f"{func.name}.{dim}.max")
+            if min_expr is None or max_expr is None:
+                continue
+            window = constant_difference(max_expr, min_expr)
+            if window is None or window < 0:
+                continue
+            fold = _round_up_to_power_of_two(int(window) + 1)
+            if fold > MAX_FOLD_FACTOR:
+                continue
+            # The footprint must march monotonically along some enclosing serial loop;
+            # otherwise folding would overwrite values still needed.
+            marching = any(
+                is_monotonic(min_expr, loop) == Monotonic.INCREASING for loop in loop_names
+            )
+            if not marching:
+                continue
+            # Don't bother folding allocations already known to be at most `fold`.
+            alloc_extent = constant_difference(bounds[dim_index][1], op.const(0))
+            if alloc_extent is not None and alloc_extent <= fold:
+                continue
+            body = _AccessRewriter(func.name, dim_index, fold).mutate(body)
+            bounds[dim_index] = (op.const(0), op.const(fold))
+            self.folds.setdefault(func.name, {})[dim] = fold
+            break
+        return body, bounds
+
+
+def _loop_names_between(body: S.Stmt, name: str) -> List[str]:
+    """Names of loops between the top of ``body`` and the produce of ``name``."""
+    names: List[str] = []
+
+    class _Finder(IRVisitor):
+        def __init__(self):
+            self.stack: List[str] = []
+
+        def visit_For(self, node: S.For):
+            self.stack.append(node.name)
+            self.visit(node.body)
+            self.stack.pop()
+
+        def visit_ProducerConsumer(self, node: S.ProducerConsumer):
+            if node.is_producer and node.name == name and not names:
+                names.extend(self.stack)
+            self.visit(node.body)
+
+    _Finder().visit(body)
+    return names
+
+
+def storage_folding(stmt: S.Stmt, env: Dict[str, Function]) -> Tuple[S.Stmt, Dict[str, Dict[str, int]]]:
+    """Fold storage where legal; returns the new statement and a report of folds applied."""
+    folder = _StorageFolder(env)
+    result = folder.mutate(stmt)
+    return result, folder.folds

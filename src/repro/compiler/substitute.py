@@ -1,0 +1,52 @@
+"""Variable substitution over IR trees."""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.ir import expr as E
+from repro.ir.mutator import IRMutator
+
+__all__ = ["substitute", "substitute_name"]
+
+
+class _Substituter(IRMutator):
+    def __init__(self, replacements: Dict[str, E.Expr]):
+        self.replacements = replacements
+
+    def visit_Variable(self, node: E.Variable):
+        return self.replacements.get(node.name, node)
+
+    def visit_Var(self, node):  # repro.lang.Var subclasses Variable
+        return self.replacements.get(node.name, node)
+
+    def visit_RVar(self, node):
+        return self.replacements.get(node.name, node)
+
+    def visit_Let(self, node: E.Let):
+        value = self.mutate(node.value)
+        if node.name in self.replacements:
+            # The let shadows the substitution inside its body.
+            inner = _Substituter({k: v for k, v in self.replacements.items() if k != node.name})
+            body = inner.mutate(node.body)
+        else:
+            body = self.mutate(node.body)
+        if value is node.value and body is node.body:
+            return node
+        return E.Let(node.name, value, body)
+
+
+def substitute(node, replacements: Dict[str, E.Expr]):
+    """Replace free variables named in ``replacements`` throughout ``node``.
+
+    Works on both expressions and statements.  Let-bound occurrences are
+    respected (inner bindings shadow the substitution).
+    """
+    if not replacements:
+        return node
+    return _Substituter(dict(replacements)).mutate(node)
+
+
+def substitute_name(node, old: str, new: E.Expr):
+    """Replace the single variable ``old`` with ``new`` throughout ``node``."""
+    return substitute(node, {old: new})

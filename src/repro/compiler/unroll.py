@@ -1,0 +1,43 @@
+"""Loop unrolling (Section 4.5 of the paper).
+
+A loop of constant extent ``n`` scheduled as unrolled is replaced by ``n``
+copies of its body with the loop index substituted; partial unrolling is
+expressed by splitting first and unrolling the inner dimension.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.substitute import substitute_name
+from repro.ir import op
+from repro.ir import stmt as S
+from repro.ir.mutator import IRMutator
+
+__all__ = ["unroll_loops", "UnrollError"]
+
+
+class UnrollError(RuntimeError):
+    """Raised when an unrolled loop does not have a constant extent."""
+
+
+class _Unroller(IRMutator):
+    def visit_For(self, node: S.For):
+        body = self.mutate(node.body)
+        if node.for_type != S.ForType.UNROLLED:
+            if body is node.body:
+                return node
+            return S.For(node.name, node.min, node.extent, node.for_type, body)
+        extent = op.const_value(node.extent)
+        if extent is None:
+            raise UnrollError(
+                f"loop {node.name!r} is scheduled unrolled but its extent "
+                f"{node.extent!r} is not a compile-time constant"
+            )
+        copies = [
+            substitute_name(body, node.name, node.min + i) for i in range(int(extent))
+        ]
+        return S.Block.make(copies) or S.Evaluate(op.const(0))
+
+
+def unroll_loops(stmt: S.Stmt) -> S.Stmt:
+    """Replace all unrolled loops by repeated copies of their bodies."""
+    return _Unroller().mutate(stmt)

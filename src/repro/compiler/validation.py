@@ -1,0 +1,89 @@
+"""Schedule validation.
+
+The autotuner generates schedules randomly and relies on invalid ones being
+rejected (Section 5: "we reject any partially completed schedules that are
+invalid").  This module performs the checks that can be done before lowering;
+structural problems that depend on the synthesized loop nest (e.g. a store
+level that does not enclose the compute level) are detected during lowering
+itself and surface as :class:`~repro.core.schedule.ScheduleError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.function import Function
+from repro.core.schedule import ScheduleError
+from repro.ir.stmt import ForType
+
+__all__ = ["validate_schedules"]
+
+
+def _validate_level(func: Function, level, env: Dict[str, Function], what: str) -> None:
+    if not level.is_at():
+        return
+    consumer = env.get(level.func)
+    if consumer is None:
+        raise ScheduleError(
+            f"{func.name!r} is {what} at {level.func!r}.{level.var}, but "
+            f"{level.func!r} is not part of this pipeline"
+        )
+    if consumer.name == func.name:
+        raise ScheduleError(f"{func.name!r} cannot be {what} at its own loops")
+    if consumer.schedule.is_inlined():
+        raise ScheduleError(
+            f"{func.name!r} is {what} at a loop of {consumer.name!r}, "
+            "which is inlined and therefore has no loops"
+        )
+    if not consumer.schedule.has_dim(level.var):
+        raise ScheduleError(
+            f"{func.name!r} is {what} at {level.func!r}.{level.var}, but "
+            f"{level.func!r} has no loop dimension {level.var!r} "
+            f"(its loops are {consumer.schedule.dim_names()})"
+        )
+
+
+def validate_schedules(env: Dict[str, Function], order: Sequence[str],
+                       output: Function) -> None:
+    """Raise :class:`ScheduleError` for schedules that can never lower correctly."""
+    if output.schedule.is_inlined():
+        # The output always has loops; treat "inlined" as the default root.
+        output.schedule.compute_root()
+
+    for name in order:
+        func = env.get(name)
+        if func is None:
+            continue
+        func.validate_for_lowering()
+        schedule = func.schedule
+
+        if func is not output and schedule.is_inlined() and func.has_updates():
+            raise ScheduleError(
+                f"{func.name!r} has update definitions and cannot be inlined"
+            )
+
+        _validate_level(func, schedule.compute_level, env, "computed")
+        _validate_level(func, schedule.store_level, env, "stored")
+
+        if schedule.compute_level.is_root() and schedule.store_level.is_at():
+            raise ScheduleError(
+                f"{func.name!r} is computed at root but stored at "
+                f"{schedule.store_level!r}; storage must be at or outside the compute level"
+            )
+        if schedule.compute_level.is_at() and schedule.store_level.is_inlined():
+            raise ScheduleError(
+                f"{func.name!r} has a compute level but no store level"
+            )
+
+        for dim in schedule.dims:
+            if dim.for_type in (ForType.VECTORIZED, ForType.UNROLLED):
+                if schedule.constant_extent(dim.var) is None:
+                    raise ScheduleError(
+                        f"dimension {dim.var!r} of {func.name!r} is "
+                        f"{dim.for_type.value} but has no constant extent"
+                    )
+            if dim.is_rvar and dim.for_type != ForType.SERIAL:
+                raise ScheduleError(
+                    f"reduction dimension {dim.var!r} of {func.name!r} may not be "
+                    f"{dim.for_type.value} unless the update is associative"
+                )

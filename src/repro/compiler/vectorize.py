@@ -1,0 +1,221 @@
+"""Vectorization (Section 4.5 of the paper).
+
+A loop of constant extent ``k`` scheduled as vectorized is completely replaced
+by a single statement: occurrences of the loop index become the vector
+``ramp(min, 1, k)``, and a type-coercion pass promotes any scalars combined
+with vectors to ``k``-wide broadcasts.  Loads of affine indices become dense
+or strided vector loads; everything else becomes a gather.  Vectors are never
+split back into bundles of scalars.
+"""
+
+from __future__ import annotations
+
+from repro.ir import expr as E
+from repro.ir import op
+from repro.ir import stmt as S
+from repro.ir.mutator import IRMutator
+
+__all__ = ["vectorize_loops", "VectorizeError"]
+
+
+class VectorizeError(RuntimeError):
+    """Raised when a vectorized loop cannot be widened."""
+
+
+def _widen(e: E.Expr, lanes: int) -> E.Expr:
+    """Broadcast a scalar expression to ``lanes`` lanes (no-op for vectors)."""
+    if e.type.lanes == lanes:
+        return e
+    if e.type.lanes != 1:
+        raise VectorizeError(
+            f"cannot combine a {e.type.lanes}-wide vector with a {lanes}-wide context"
+        )
+    return E.Broadcast(e, lanes)
+
+
+class _VectorSubs(IRMutator):
+    """Substitute a loop variable with a ramp and widen affected expressions."""
+
+    def __init__(self, var: str, replacement: E.Expr):
+        self.var = var
+        self.replacement = replacement
+        self.lanes = replacement.type.lanes
+        self.widened_lets = set()
+
+    # -- leaves -------------------------------------------------------------
+    def visit_Variable(self, node: E.Variable):
+        if node.name == self.var:
+            return self.replacement
+        if node.name in self.widened_lets:
+            return E.Variable(node.name, node.type.with_lanes(self.lanes))
+        return node
+
+    visit_Var = visit_Variable
+    visit_RVar = visit_Variable
+
+    # -- expressions that must re-balance vector widths ----------------------
+    def _binary(self, node, klass):
+        a, b = self.mutate(node.a), self.mutate(node.b)
+        if a is node.a and b is node.b:
+            return node
+        lanes = max(a.type.lanes, b.type.lanes)
+        if lanes > 1:
+            a, b = _widen(a, lanes), _widen(b, lanes)
+        return klass(a, b, node.type.with_lanes(lanes))
+
+    def visit_Add(self, node):
+        return self._binary(node, E.Add)
+
+    def visit_Sub(self, node):
+        return self._binary(node, E.Sub)
+
+    def visit_Mul(self, node):
+        return self._binary(node, E.Mul)
+
+    def visit_Div(self, node):
+        return self._binary(node, E.Div)
+
+    def visit_Mod(self, node):
+        return self._binary(node, E.Mod)
+
+    def visit_Min(self, node):
+        return self._binary(node, E.Min)
+
+    def visit_Max(self, node):
+        return self._binary(node, E.Max)
+
+    def visit_EQ(self, node):
+        return self._binary(node, E.EQ)
+
+    def visit_NE(self, node):
+        return self._binary(node, E.NE)
+
+    def visit_LT(self, node):
+        return self._binary(node, E.LT)
+
+    def visit_LE(self, node):
+        return self._binary(node, E.LE)
+
+    def visit_GT(self, node):
+        return self._binary(node, E.GT)
+
+    def visit_GE(self, node):
+        return self._binary(node, E.GE)
+
+    def visit_And(self, node):
+        return self._binary(node, E.And)
+
+    def visit_Or(self, node):
+        return self._binary(node, E.Or)
+
+    def visit_Select(self, node):
+        c = self.mutate(node.condition)
+        t = self.mutate(node.true_value)
+        f = self.mutate(node.false_value)
+        lanes = max(c.type.lanes, t.type.lanes, f.type.lanes)
+        if lanes > 1:
+            c, t, f = _widen(c, lanes), _widen(t, lanes), _widen(f, lanes)
+        return E.Select(c, t, f)
+
+    def visit_Cast(self, node):
+        value = self.mutate(node.value)
+        if value is node.value:
+            return node
+        return E.Cast(node.type.with_lanes(value.type.lanes), value)
+
+    def visit_Call(self, node: E.Call):
+        args = [self.mutate(a) for a in node.args]
+        if all(a is b for a, b in zip(args, node.args)):
+            return node
+        lanes = max(a.type.lanes for a in args) if args else 1
+        if node.call_type == E.CallType.INTRINSIC and lanes > 1:
+            args = [_widen(a, lanes) for a in args]
+        return E.Call(node.type.with_lanes(lanes), node.name, args, node.call_type, node.target)
+
+    def visit_Let(self, node: E.Let):
+        value = self.mutate(node.value)
+        widened = value.type.lanes > 1
+        if widened:
+            self.widened_lets.add(node.name)
+        body = self.mutate(node.body)
+        if widened:
+            self.widened_lets.discard(node.name)
+        if value is node.value and body is node.body:
+            return node
+        return E.Let(node.name, value, body)
+
+    # -- statements ----------------------------------------------------------
+    def visit_LetStmt(self, node: S.LetStmt):
+        value = self.mutate(node.value)
+        widened = value.type.lanes > 1
+        if widened:
+            self.widened_lets.add(node.name)
+        body = self.mutate(node.body)
+        if widened:
+            self.widened_lets.discard(node.name)
+        if value is node.value and body is node.body:
+            return node
+        return S.LetStmt(node.name, value, body)
+
+    def visit_Store(self, node: S.Store):
+        index = self.mutate(node.index)
+        value = self.mutate(node.value)
+        lanes = max(index.type.lanes, value.type.lanes)
+        if lanes > 1:
+            index, value = _widen(index, lanes), _widen(value, lanes)
+        if index is node.index and value is node.value:
+            return node
+        return S.Store(node.name, value, index)
+
+    def visit_For(self, node: S.For):
+        # Nested loops inside a vectorized body keep scalar bounds: take the
+        # base lane of any vectorized bound (Halide does the same for loops
+        # over vectorized dimensions' interiors).
+        mn = self.mutate(node.min)
+        extent = self.mutate(node.extent)
+        if mn.type.lanes > 1 or extent.type.lanes > 1:
+            raise VectorizeError(
+                f"loop {node.name!r} nested inside a vectorized loop has vector bounds; "
+                "reorder the vectorized dimension innermost"
+            )
+        body = self.mutate(node.body)
+        if mn is node.min and extent is node.extent and body is node.body:
+            return node
+        return S.For(node.name, mn, extent, node.for_type, body)
+
+    def visit_IfThenElse(self, node: S.IfThenElse):
+        condition = self.mutate(node.condition)
+        if condition.type.lanes > 1:
+            raise VectorizeError(
+                "a bounds guard became a vector condition inside a vectorized loop; "
+                "use TailStrategy.ROUND_UP for vectorized dimensions"
+            )
+        return S.IfThenElse(condition, self.mutate(node.then_case),
+                            self.mutate(node.else_case))
+
+
+class _Vectorizer(IRMutator):
+    def visit_For(self, node: S.For):
+        body = self.mutate(node.body)
+        if node.for_type != S.ForType.VECTORIZED:
+            if body is node.body:
+                return node
+            return S.For(node.name, node.min, node.extent, node.for_type, body)
+        extent = op.const_value(node.extent)
+        if extent is None:
+            raise VectorizeError(
+                f"loop {node.name!r} is scheduled vectorized but its extent "
+                f"{node.extent!r} is not a compile-time constant"
+            )
+        lanes = int(extent)
+        if lanes == 1:
+            return self.mutate(
+                S.For(node.name, node.min, node.extent, S.ForType.SERIAL, body)
+            )
+        ramp = E.Ramp(node.min, op.const(1), lanes)
+        return _VectorSubs(node.name, ramp).mutate(body)
+
+
+def vectorize_loops(stmt: S.Stmt) -> S.Stmt:
+    """Replace all vectorized loops by single wide statements."""
+    return _Vectorizer().mutate(stmt)

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: the schedule representation.
+
+This package contains the internal representation of pipeline stages
+(:class:`~repro.core.function.Function`), their definitions, and — most
+importantly — the *schedule*: the per-function domain order (splits, loop
+ordering, parallel/vectorize/unroll markings) and call schedule (store level
+and compute level), which together span the locality / parallelism /
+redundant-recomputation trade-off space described in Section 3.
+"""
+
+from repro.core.dims import Dim, ForType
+from repro.core.split import Split, TailStrategy
+from repro.core.loop_level import LoopLevel
+from repro.core.schedule import FuncSchedule
+from repro.core.definition import Definition, ReductionDomain, ReductionVariable, UpdateDefinition
+from repro.core.function import Function
+
+__all__ = [
+    "Dim",
+    "ForType",
+    "Split",
+    "TailStrategy",
+    "LoopLevel",
+    "FuncSchedule",
+    "Definition",
+    "ReductionDomain",
+    "ReductionVariable",
+    "UpdateDefinition",
+    "Function",
+]

@@ -1,0 +1,33 @@
+"""Loop dimensions of a scheduled function.
+
+Each scheduled stage traverses its domain with a loop nest; :class:`Dim`
+records one loop of that nest and how it is executed.  The list of dims in a
+:class:`~repro.core.schedule.FuncSchedule` is stored innermost-first, matching
+the convention used by ``reorder`` in the paper's schedule language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+# Re-export the IR loop kind so schedule code does not need to import the IR.
+from repro.ir.stmt import ForType
+
+__all__ = ["Dim", "ForType"]
+
+
+@dataclass
+class Dim:
+    """One loop dimension of a function's domain order."""
+
+    var: str
+    for_type: ForType = ForType.SERIAL
+    #: True for dimensions that belong to a reduction domain (RVars); these
+    #: may only be reordered/parallelized when the update is associative.
+    is_rvar: bool = False
+
+    def copy(self) -> "Dim":
+        return replace(self)
+
+    def is_parallel(self) -> bool:
+        return self.for_type in (ForType.PARALLEL, ForType.GPU_BLOCK, ForType.GPU_THREAD)

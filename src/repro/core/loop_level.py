@@ -1,0 +1,60 @@
+"""Loop levels: where a function is stored and computed (the call schedule).
+
+A :class:`LoopLevel` names a point in the loop nest of the pipeline: inlined
+into its callers, at the root of the pipeline (outside all loops), or at a
+particular loop variable of a particular consumer function.  The pair
+(store level, compute level) for each function is the paper's *call schedule*
+and is what trades locality against parallelism and redundant work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["LoopLevel"]
+
+
+@dataclass(frozen=True)
+class LoopLevel:
+    """A point in the loop nest of the pipeline."""
+
+    kind: str  # "inlined" | "root" | "at"
+    func: Optional[str] = None
+    var: Optional[str] = None
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def inlined() -> "LoopLevel":
+        return LoopLevel("inlined")
+
+    @staticmethod
+    def root() -> "LoopLevel":
+        return LoopLevel("root")
+
+    @staticmethod
+    def at(func, var) -> "LoopLevel":
+        func_name = getattr(func, "name", func)
+        var_name = getattr(var, "name", var)
+        return LoopLevel("at", func_name, var_name)
+
+    # -- queries ----------------------------------------------------------
+    def is_inlined(self) -> bool:
+        return self.kind == "inlined"
+
+    def is_root(self) -> bool:
+        return self.kind == "root"
+
+    def is_at(self) -> bool:
+        return self.kind == "at"
+
+    def loop_name(self) -> str:
+        """The IR loop name this level refers to (only valid for ``at`` levels)."""
+        if not self.is_at():
+            raise ValueError(f"{self} does not name a loop")
+        return f"{self.func}.{self.var}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "at":
+            return f"LoopLevel.at({self.func}, {self.var})"
+        return f"LoopLevel.{self.kind}()"

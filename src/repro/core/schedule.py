@@ -1,0 +1,265 @@
+"""The per-function schedule: domain order plus call schedule.
+
+This is the concrete realization of the scheduling model of Section 3.2:
+
+* the **domain order** is a list of loop :class:`~repro.core.dims.Dim` entries
+  (innermost first), together with the :class:`~repro.core.split.Split`
+  transformations that created any non-root dimensions, and per-dim execution
+  markings (serial / parallel / vectorized / unrolled / GPU block / GPU thread);
+* the **call schedule** is the pair of :class:`~repro.core.loop_level.LoopLevel`
+  values saying at which loop of its consumers the function's values are
+  stored and computed.
+
+Schedules are plain data: the compiler reads them, the autotuner mutates them,
+and neither needs to know about the other.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.dims import Dim, ForType
+from repro.core.loop_level import LoopLevel
+from repro.core.split import Split, TailStrategy
+
+__all__ = ["FuncSchedule", "ScheduleError"]
+
+
+class ScheduleError(ValueError):
+    """Raised when a scheduling directive is malformed or inconsistent."""
+
+
+class FuncSchedule:
+    """The complete schedule of one pipeline stage (its pure definition)."""
+
+    def __init__(self, pure_args: Sequence[str]):
+        #: Storage dimensions, in declaration order (x first = innermost storage).
+        self.storage_dims: List[str] = list(pure_args)
+        #: Loop dimensions, innermost first.
+        self.dims: List[Dim] = [Dim(a) for a in pure_args]
+        #: Splits applied, in application order.
+        self.splits: List[Split] = []
+        #: Where values of this function are computed.
+        self.compute_level: LoopLevel = LoopLevel.inlined()
+        #: Where storage for this function is allocated.
+        self.store_level: LoopLevel = LoopLevel.inlined()
+        #: Explicit bounds promises: dim -> (min, extent), used by the
+        #: autotuner to avoid tiling tiny dimensions (e.g. color channels).
+        self.bounds: Dict[str, tuple] = {}
+        #: Dimensions whose storage should be folded if legal (set by the
+        #: storage-folding pass; may also be forced by the user).
+        self.storage_folds: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def dim_names(self) -> List[str]:
+        return [d.var for d in self.dims]
+
+    def has_dim(self, var: str) -> bool:
+        return any(d.var == var for d in self.dims)
+
+    def find_dim(self, var: str) -> Dim:
+        for d in self.dims:
+            if d.var == var:
+                return d
+        raise ScheduleError(f"no loop dimension named {var!r}; have {self.dim_names()}")
+
+    def is_inlined(self) -> bool:
+        return self.compute_level.is_inlined()
+
+    def root_of(self, var: str) -> str:
+        """The storage dimension a loop dimension was derived from by splitting."""
+        name = var
+        while True:
+            for s in self.splits:
+                if s.outer == name or s.inner == name:
+                    name = s.old
+                    break
+            else:
+                return name
+
+    def split_children(self, var: str) -> Optional[Split]:
+        """The split (if any) that consumed ``var`` as its old dimension."""
+        for s in self.splits:
+            if s.old == var:
+                return s
+        return None
+
+    def is_split(self, var: str) -> bool:
+        return self.split_children(var) is not None
+
+    def total_split_factor(self, storage_dim: str) -> int:
+        """Product of split factors applied along one storage dimension.
+
+        The traversed domain of a split dimension is rounded up to a multiple
+        of its factor (Section 4.1), so allocations along that dimension must
+        be rounded up to a multiple of this product.
+        """
+        factor = 1
+        frontier = [storage_dim]
+        while frontier:
+            name = frontier.pop()
+            split = self.split_children(name)
+            if split is not None:
+                factor *= split.factor
+                frontier.append(split.outer)
+        return factor
+
+    def vector_width(self) -> int:
+        """The widest vectorized dimension's extent (1 if nothing is vectorized)."""
+        width = 1
+        for d in self.dims:
+            if d.for_type == ForType.VECTORIZED:
+                extent = self.constant_extent(d.var)
+                if extent is not None:
+                    width = max(width, extent)
+        return width
+
+    def constant_extent(self, var: str) -> Optional[int]:
+        """The statically known extent of a dimension, if any.
+
+        Inner split dimensions have extent equal to their factor; dimensions
+        with a ``bound`` promise have the promised extent.
+        """
+        for s in self.splits:
+            if s.inner == var:
+                return s.factor
+        if var in self.bounds:
+            return int(self.bounds[var][1])
+        return None
+
+    # ------------------------------------------------------------------
+    # domain-order directives
+    # ------------------------------------------------------------------
+    def split(self, old: str, outer: str, inner: str, factor: int,
+              tail: TailStrategy = TailStrategy.ROUND_UP) -> None:
+        """Split loop dimension ``old`` into ``outer`` and ``inner`` by ``factor``."""
+        if factor <= 0:
+            raise ScheduleError(f"split factor must be positive, got {factor}")
+        if not self.has_dim(old):
+            raise ScheduleError(f"cannot split unknown dimension {old!r} of dims {self.dim_names()}")
+        if self.has_dim(outer) or self.has_dim(inner):
+            raise ScheduleError(f"split names {outer!r}/{inner!r} collide with existing dims")
+        index = next(i for i, d in enumerate(self.dims) if d.var == old)
+        old_dim = self.dims[index]
+        # Replace old with [inner, outer] (inner stays innermost at old's position).
+        self.dims[index:index + 1] = [
+            Dim(inner, old_dim.for_type, old_dim.is_rvar),
+            Dim(outer, old_dim.for_type, old_dim.is_rvar),
+        ]
+        self.splits.append(Split(old, outer, inner, int(factor), tail))
+
+    def reorder(self, vars: Sequence[str]) -> None:
+        """Reorder loop dimensions; ``vars`` are given innermost first."""
+        names = [getattr(v, "name", v) for v in vars]
+        for name in names:
+            if not self.has_dim(name):
+                raise ScheduleError(f"reorder references unknown dimension {name!r}")
+        if len(set(names)) != len(names):
+            raise ScheduleError(f"reorder lists a dimension twice: {names}")
+        listed = [d for d in self.dims if d.var in names]
+        listed_sorted = sorted(listed, key=lambda d: names.index(d.var))
+        iterator = iter(listed_sorted)
+        new_dims = []
+        for d in self.dims:
+            if d.var in names:
+                new_dims.append(next(iterator))
+            else:
+                new_dims.append(d)
+        self.dims = new_dims
+
+    def _mark(self, var: str, for_type: ForType) -> None:
+        self.find_dim(var).for_type = for_type
+
+    def parallel(self, var: str) -> None:
+        self._mark(var, ForType.PARALLEL)
+
+    def serial(self, var: str) -> None:
+        self._mark(var, ForType.SERIAL)
+
+    def vectorize(self, var: str) -> None:
+        if self.constant_extent(var) is None:
+            raise ScheduleError(
+                f"vectorized dimension {var!r} must have a constant extent; "
+                "split it by the vector width first (or use Func.vectorize(var, width))"
+            )
+        self._mark(var, ForType.VECTORIZED)
+
+    def unroll(self, var: str) -> None:
+        if self.constant_extent(var) is None:
+            raise ScheduleError(
+                f"unrolled dimension {var!r} must have a constant extent; split it first"
+            )
+        self._mark(var, ForType.UNROLLED)
+
+    def gpu_blocks(self, var: str) -> None:
+        self._mark(var, ForType.GPU_BLOCK)
+
+    def gpu_threads(self, var: str) -> None:
+        self._mark(var, ForType.GPU_THREAD)
+
+    def bound(self, var: str, min_value: int, extent: int) -> None:
+        """Promise that a storage dimension spans exactly ``[min, min+extent)``."""
+        if var not in self.storage_dims:
+            raise ScheduleError(f"bound applies to storage dimensions; {var!r} is not one")
+        self.bounds[var] = (int(min_value), int(extent))
+
+    # ------------------------------------------------------------------
+    # call-schedule directives
+    # ------------------------------------------------------------------
+    def compute_at(self, level: LoopLevel) -> None:
+        self.compute_level = level
+        if self.store_level.is_inlined():
+            self.store_level = level
+
+    def compute_root(self) -> None:
+        self.compute_level = LoopLevel.root()
+        if self.store_level.is_inlined():
+            self.store_level = LoopLevel.root()
+
+    def compute_inline(self) -> None:
+        self.compute_level = LoopLevel.inlined()
+        self.store_level = LoopLevel.inlined()
+
+    def store_at(self, level: LoopLevel) -> None:
+        self.store_level = level
+
+    def store_root(self) -> None:
+        self.store_level = LoopLevel.root()
+
+    # ------------------------------------------------------------------
+    # copying (the autotuner mutates copies of schedules)
+    # ------------------------------------------------------------------
+    def copy(self) -> "FuncSchedule":
+        clone = FuncSchedule(self.storage_dims)
+        clone.dims = [d.copy() for d in self.dims]
+        clone.splits = [s.copy() for s in self.splits]
+        clone.compute_level = self.compute_level
+        clone.store_level = self.store_level
+        clone.bounds = dict(self.bounds)
+        clone.storage_folds = dict(self.storage_folds)
+        return clone
+
+    def reset_domain_order(self) -> None:
+        """Drop all splits/reorderings/markings, keeping only the call schedule."""
+        self.dims = [Dim(a) for a in self.storage_dims]
+        self.splits = []
+
+    def describe(self) -> str:
+        """A one-line human-readable summary (used in logs and EXPERIMENTS.md)."""
+        parts = []
+        for s in self.splits:
+            parts.append(f"split({s.old},{s.outer},{s.inner},{s.factor})")
+        order = ",".join(self.dim_names())
+        parts.append(f"order[{order}]")
+        for d in self.dims:
+            if d.for_type != ForType.SERIAL:
+                parts.append(f"{d.for_type.value}({d.var})")
+        parts.append(f"compute@{self.compute_level!r}")
+        parts.append(f"store@{self.store_level!r}")
+        return " ".join(parts)
+
+    def __deepcopy__(self, memo):
+        return self.copy()

@@ -1,0 +1,36 @@
+"""Split records: the domain-order transformation that opens up tiling.
+
+A :class:`Split` replaces one loop dimension by an outer and an inner
+dimension; the original coordinate is reconstituted as
+``old = old_min + outer * factor + inner``.  As in Section 4.1, the traversed
+domain is rounded up to a multiple of the factor (``TailStrategy.ROUND_UP``);
+``GUARD_WITH_IF`` instead guards the body with a bounds check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = ["Split", "TailStrategy"]
+
+
+class TailStrategy(enum.Enum):
+    """How iterations beyond the original extent of a split dimension are handled."""
+
+    ROUND_UP = "round_up"
+    GUARD_WITH_IF = "guard_with_if"
+
+
+@dataclass
+class Split:
+    """Split ``old`` into ``outer`` and ``inner`` by ``factor``."""
+
+    old: str
+    outer: str
+    inner: str
+    factor: int
+    tail: TailStrategy = TailStrategy.ROUND_UP
+
+    def copy(self) -> "Split":
+        return replace(self)

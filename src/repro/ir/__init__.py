@@ -1,0 +1,69 @@
+"""The Halide-style intermediate representation.
+
+Expressions (:mod:`repro.ir.expr`) are side-effect-free, typed trees.
+Statements (:mod:`repro.ir.stmt`) describe loop nests, allocations, stores and
+producer/consumer structure.  Lowering (Section 4 of the paper) turns the
+functional pipeline description into a single statement tree which the
+backends execute.
+"""
+
+from repro.ir.expr import (
+    Add,
+    And,
+    Broadcast,
+    Call,
+    CallType,
+    Cast,
+    Div,
+    EQ,
+    Expr,
+    FloatImm,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Let,
+    Load,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    NE,
+    Not,
+    Or,
+    Ramp,
+    Select,
+    Sub,
+    Variable,
+)
+from repro.ir.stmt import (
+    Allocate,
+    AssertStmt,
+    Block,
+    Evaluate,
+    For,
+    ForType,
+    IfThenElse,
+    LetStmt,
+    ProducerConsumer,
+    Provide,
+    Realize,
+    Stmt,
+    Store,
+)
+from repro.ir.op import (
+    as_expr,
+    cast,
+    clamp,
+    const,
+    likely,
+    make_select,
+    max_,
+    min_,
+)
+from repro.ir.printer import pretty_print
+from repro.ir.visitor import IRVisitor
+from repro.ir.mutator import IRMutator
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,141 @@
+"""A rebuilding mutator over IR trees.
+
+Subclasses override ``visit_<NodeClass>`` methods and return replacement
+nodes; the default implementation rebuilds each node from mutated children,
+re-using the original node when no child changed (so unchanged subtrees keep
+their identity, which keeps the passes cheap).
+"""
+
+from __future__ import annotations
+
+from repro.ir import expr as E
+from repro.ir import stmt as S
+
+__all__ = ["IRMutator"]
+
+
+class IRMutator:
+    """Depth-first rewriting of expressions and statements."""
+
+    def mutate(self, node):
+        if node is None:
+            return None
+        method = getattr(self, "visit_" + type(node).__name__, None)
+        if method is not None:
+            return method(node)
+        return self.generic_mutate(node)
+
+    # Aliases so passes can be explicit about what they expect.
+    def mutate_expr(self, e):
+        return self.mutate(e)
+
+    def mutate_stmt(self, s):
+        return self.mutate(s)
+
+    def generic_mutate(self, node):
+        # -- expressions -----------------------------------------------------
+        if isinstance(node, (E.IntImm, E.FloatImm, E.Variable)):
+            return node
+        if isinstance(node, E.Cast):
+            value = self.mutate(node.value)
+            return node if value is node.value else E.Cast(node.type, value)
+        if isinstance(node, E._BinaryOp):
+            a, b = self.mutate(node.a), self.mutate(node.b)
+            if a is node.a and b is node.b:
+                return node
+            return type(node)(a, b, node.type)
+        if isinstance(node, E.Not):
+            a = self.mutate(node.a)
+            return node if a is node.a else E.Not(a)
+        if isinstance(node, E.Select):
+            c = self.mutate(node.condition)
+            t = self.mutate(node.true_value)
+            f = self.mutate(node.false_value)
+            if c is node.condition and t is node.true_value and f is node.false_value:
+                return node
+            return E.Select(c, t, f)
+        if isinstance(node, E.Load):
+            index = self.mutate(node.index)
+            if index is node.index:
+                return node
+            return E.Load(node.type.with_lanes(index.type.lanes), node.name, index)
+        if isinstance(node, E.Ramp):
+            base, stride = self.mutate(node.base), self.mutate(node.stride)
+            if base is node.base and stride is node.stride:
+                return node
+            return E.Ramp(base, stride, node.lanes)
+        if isinstance(node, E.Broadcast):
+            value = self.mutate(node.value)
+            return node if value is node.value else E.Broadcast(value, node.lanes)
+        if isinstance(node, E.Call):
+            args = [self.mutate(a) for a in node.args]
+            if all(a is b for a, b in zip(args, node.args)):
+                return node
+            return E.Call(node.type, node.name, args, node.call_type, node.target)
+        if isinstance(node, E.Let):
+            value, body = self.mutate(node.value), self.mutate(node.body)
+            if value is node.value and body is node.body:
+                return node
+            return E.Let(node.name, value, body)
+
+        # -- statements -------------------------------------------------------
+        if isinstance(node, S.For):
+            mn, ext = self.mutate(node.min), self.mutate(node.extent)
+            body = self.mutate(node.body)
+            if mn is node.min and ext is node.extent and body is node.body:
+                return node
+            return S.For(node.name, mn, ext, node.for_type, body)
+        if isinstance(node, S.LetStmt):
+            value, body = self.mutate(node.value), self.mutate(node.body)
+            if value is node.value and body is node.body:
+                return node
+            return S.LetStmt(node.name, value, body)
+        if isinstance(node, S.AssertStmt):
+            cond = self.mutate(node.condition)
+            return node if cond is node.condition else S.AssertStmt(cond, node.message)
+        if isinstance(node, S.ProducerConsumer):
+            body = self.mutate(node.body)
+            if body is node.body:
+                return node
+            return S.ProducerConsumer(node.name, node.is_producer, body)
+        if isinstance(node, S.Provide):
+            args = [self.mutate(a) for a in node.args]
+            value = self.mutate(node.value)
+            if value is node.value and all(a is b for a, b in zip(args, node.args)):
+                return node
+            return S.Provide(node.name, value, args)
+        if isinstance(node, S.Store):
+            index, value = self.mutate(node.index), self.mutate(node.value)
+            if index is node.index and value is node.value:
+                return node
+            return S.Store(node.name, value, index)
+        if isinstance(node, S.Realize):
+            bounds = [(self.mutate(mn), self.mutate(ext)) for mn, ext in node.bounds]
+            body = self.mutate(node.body)
+            unchanged = body is node.body and all(
+                m is om and e is oe for (m, e), (om, oe) in zip(bounds, node.bounds)
+            )
+            if unchanged:
+                return node
+            return S.Realize(node.name, node.type, bounds, body)
+        if isinstance(node, S.Allocate):
+            size, body = self.mutate(node.size), self.mutate(node.body)
+            if size is node.size and body is node.body:
+                return node
+            return S.Allocate(node.name, node.type, size, body)
+        if isinstance(node, S.Block):
+            stmts = [self.mutate(s) for s in node.stmts]
+            if all(a is b for a, b in zip(stmts, node.stmts)):
+                return node
+            return S.Block([s for s in stmts if s is not None])
+        if isinstance(node, S.IfThenElse):
+            cond = self.mutate(node.condition)
+            then_case = self.mutate(node.then_case)
+            else_case = self.mutate(node.else_case)
+            if cond is node.condition and then_case is node.then_case and else_case is node.else_case:
+                return node
+            return S.IfThenElse(cond, then_case, else_case)
+        if isinstance(node, S.Evaluate):
+            value = self.mutate(node.value)
+            return node if value is node.value else S.Evaluate(value)
+        raise TypeError(f"unknown IR node {type(node).__name__}")

@@ -1,0 +1,107 @@
+"""Pretty printing of IR trees for debugging and documentation.
+
+``pretty_print`` renders the loop nest in a pseudo-code format that closely
+resembles the listings in Section 3.1 of the paper, which makes it easy to
+eyeball what a given schedule lowered to.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.ir import expr as E
+from repro.ir import stmt as S
+
+__all__ = ["pretty_print"]
+
+_INDENT = "  "
+
+
+def pretty_print(node) -> str:
+    """Render an expression or statement as readable pseudo-code."""
+    if node is None:
+        return "<empty>"
+    if isinstance(node, E.Expr):
+        return _print_expr(node)
+    out = StringIO()
+    _print_stmt(node, out, 0)
+    return out.getvalue()
+
+
+def _print_expr(e) -> str:
+    if isinstance(e, E.IntImm):
+        return str(e.value)
+    if isinstance(e, E.FloatImm):
+        return repr(e.value) + "f"
+    if isinstance(e, E.Variable):
+        return e.name
+    if isinstance(e, E.Cast):
+        return f"{e.type!r}({_print_expr(e.value)})"
+    if isinstance(e, (E.Min, E.Max)):
+        return f"{e.op_name}({_print_expr(e.a)}, {_print_expr(e.b)})"
+    if isinstance(e, E._BinaryOp):
+        return f"({_print_expr(e.a)} {e.op_name} {_print_expr(e.b)})"
+    if isinstance(e, E.Not):
+        return f"!({_print_expr(e.a)})"
+    if isinstance(e, E.Select):
+        return (
+            f"select({_print_expr(e.condition)}, "
+            f"{_print_expr(e.true_value)}, {_print_expr(e.false_value)})"
+        )
+    if isinstance(e, E.Load):
+        return f"{e.name}[{_print_expr(e.index)}]"
+    if isinstance(e, E.Ramp):
+        return f"ramp({_print_expr(e.base)}, {_print_expr(e.stride)}, {e.lanes})"
+    if isinstance(e, E.Broadcast):
+        return f"x{e.lanes}({_print_expr(e.value)})"
+    if isinstance(e, E.Call):
+        args = ", ".join(_print_expr(a) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, E.Let):
+        return f"(let {e.name} = {_print_expr(e.value)} in {_print_expr(e.body)})"
+    return f"<{type(e).__name__}>"
+
+
+def _print_stmt(s, out, depth) -> None:
+    pad = _INDENT * depth
+    if isinstance(s, S.For):
+        tag = "" if s.for_type == S.ForType.SERIAL else f"{s.for_type.value} "
+        out.write(
+            f"{pad}{tag}for {s.name} in "
+            f"[{_print_expr(s.min)}, {_print_expr(s.min)} + {_print_expr(s.extent)}):\n"
+        )
+        _print_stmt(s.body, out, depth + 1)
+    elif isinstance(s, S.LetStmt):
+        out.write(f"{pad}let {s.name} = {_print_expr(s.value)}\n")
+        _print_stmt(s.body, out, depth)
+    elif isinstance(s, S.AssertStmt):
+        out.write(f"{pad}assert {_print_expr(s.condition)}, {s.message!r}\n")
+    elif isinstance(s, S.ProducerConsumer):
+        kind = "produce" if s.is_producer else "consume"
+        out.write(f"{pad}{kind} {s.name}:\n")
+        _print_stmt(s.body, out, depth + 1)
+    elif isinstance(s, S.Provide):
+        args = ", ".join(_print_expr(a) for a in s.args)
+        out.write(f"{pad}{s.name}({args}) = {_print_expr(s.value)}\n")
+    elif isinstance(s, S.Store):
+        out.write(f"{pad}{s.name}[{_print_expr(s.index)}] = {_print_expr(s.value)}\n")
+    elif isinstance(s, S.Realize):
+        bounds = ", ".join(f"[{_print_expr(m)}, {_print_expr(e)})" for m, e in s.bounds)
+        out.write(f"{pad}realize {s.name}({bounds}):\n")
+        _print_stmt(s.body, out, depth + 1)
+    elif isinstance(s, S.Allocate):
+        out.write(f"{pad}allocate {s.name}[{_print_expr(s.size)}]\n")
+        _print_stmt(s.body, out, depth)
+    elif isinstance(s, S.Block):
+        for sub in s.stmts:
+            _print_stmt(sub, out, depth)
+    elif isinstance(s, S.IfThenElse):
+        out.write(f"{pad}if {_print_expr(s.condition)}:\n")
+        _print_stmt(s.then_case, out, depth + 1)
+        if s.else_case is not None:
+            out.write(f"{pad}else:\n")
+            _print_stmt(s.else_case, out, depth + 1)
+    elif isinstance(s, S.Evaluate):
+        out.write(f"{pad}{_print_expr(s.value)}\n")
+    else:
+        out.write(f"{pad}<{type(s).__name__}>\n")

@@ -1,0 +1,249 @@
+"""Statement nodes of the IR.
+
+Statements are produced by lowering (Section 4.1 of the paper) and transformed
+by the subsequent passes.  A fully lowered pipeline is a single statement tree
+containing loops (:class:`For`), allocations (:class:`Realize` before
+flattening, :class:`Allocate` after), stores (:class:`Provide` before
+flattening, :class:`Store` after), and producer/consumer markers used by
+bounds inference and the machine model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.expr import Expr
+from repro.types import Type
+
+__all__ = [
+    "Stmt",
+    "ForType",
+    "For",
+    "LetStmt",
+    "AssertStmt",
+    "ProducerConsumer",
+    "Provide",
+    "Store",
+    "Realize",
+    "Allocate",
+    "Block",
+    "IfThenElse",
+    "Evaluate",
+]
+
+
+class Stmt:
+    """Base class of all statement nodes."""
+
+    __slots__ = ()
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Stmt):
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import pretty_print
+
+        return pretty_print(self)
+
+
+class ForType(enum.Enum):
+    """How a loop dimension is executed (the paper's domain-order choices)."""
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+    VECTORIZED = "vectorized"
+    UNROLLED = "unrolled"
+    GPU_BLOCK = "gpu_block"
+    GPU_THREAD = "gpu_thread"
+
+
+class For(Stmt):
+    """A loop over ``[min, min+extent)`` with stride 1."""
+
+    __slots__ = ("name", "min", "extent", "for_type", "body")
+
+    def __init__(self, name: str, min: Expr, extent: Expr, for_type: ForType, body: Stmt):
+        self.name = name
+        self.min = min
+        self.extent = extent
+        self.for_type = for_type
+        self.body = body
+
+    def _key(self):
+        return (self.name, self.min, self.extent, self.for_type, self.body)
+
+    def is_parallel(self) -> bool:
+        return self.for_type in (ForType.PARALLEL, ForType.GPU_BLOCK, ForType.GPU_THREAD)
+
+
+class LetStmt(Stmt):
+    """Bind ``name`` to the value of ``value`` within ``body``."""
+
+    __slots__ = ("name", "value", "body")
+
+    def __init__(self, name: str, value: Expr, body: Stmt):
+        self.name = name
+        self.value = value
+        self.body = body
+
+    def _key(self):
+        return (self.name, self.value, self.body)
+
+
+class AssertStmt(Stmt):
+    """Abort execution with ``message`` if ``condition`` is false."""
+
+    __slots__ = ("condition", "message")
+
+    def __init__(self, condition: Expr, message: str):
+        self.condition = condition
+        self.message = message
+
+    def _key(self):
+        return (self.condition, self.message)
+
+
+class ProducerConsumer(Stmt):
+    """Marks ``body`` as producing (or consuming) the values of a function.
+
+    Bounds inference, the sliding-window pass and the machine model all use
+    these markers to find the computation belonging to each stage.
+    """
+
+    __slots__ = ("name", "is_producer", "body")
+
+    def __init__(self, name: str, is_producer: bool, body: Stmt):
+        self.name = name
+        self.is_producer = is_producer
+        self.body = body
+
+    def _key(self):
+        return (self.name, self.is_producer, self.body)
+
+
+class Provide(Stmt):
+    """A multi-dimensional store ``name(args...) = value`` (pre-flattening)."""
+
+    __slots__ = ("name", "value", "args")
+
+    def __init__(self, name: str, value: Expr, args: Sequence[Expr]):
+        self.name = name
+        self.value = value
+        self.args = tuple(args)
+
+    def _key(self):
+        return (self.name, self.value, self.args)
+
+
+class Store(Stmt):
+    """A store of ``value`` into flat buffer ``name`` at ``index`` (post-flattening)."""
+
+    __slots__ = ("name", "value", "index")
+
+    def __init__(self, name: str, value: Expr, index: Expr):
+        self.name = name
+        self.value = value
+        self.index = index
+
+    def _key(self):
+        return (self.name, self.value, self.index)
+
+
+class Realize(Stmt):
+    """Create storage for a function over a multi-dimensional region.
+
+    ``bounds`` is a list of ``(min, extent)`` expression pairs, one per
+    dimension of the function.  Flattening converts this into a 1-D
+    :class:`Allocate`.
+    """
+
+    __slots__ = ("name", "type", "bounds", "body")
+
+    def __init__(self, name: str, type: Type, bounds: Sequence[Tuple[Expr, Expr]], body: Stmt):
+        self.name = name
+        self.type = type
+        self.bounds = tuple(tuple(b) for b in bounds)
+        self.body = body
+
+    def _key(self):
+        return (self.name, self.type, self.bounds, self.body)
+
+
+class Allocate(Stmt):
+    """A one-dimensional allocation of ``size`` elements of ``type``."""
+
+    __slots__ = ("name", "type", "size", "body")
+
+    def __init__(self, name: str, type: Type, size: Expr, body: Stmt):
+        self.name = name
+        self.type = type
+        self.size = size
+        self.body = body
+
+    def _key(self):
+        return (self.name, self.type, self.size, self.body)
+
+
+class Block(Stmt):
+    """A sequence of statements executed in order."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        flat: List[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Block):
+                flat.extend(s.stmts)
+            elif s is not None:
+                flat.append(s)
+        self.stmts = tuple(flat)
+
+    def _key(self):
+        return (self.stmts,)
+
+    @staticmethod
+    def make(stmts: Sequence[Optional[Stmt]]) -> Optional[Stmt]:
+        """Build a block, collapsing empties and single statements."""
+        filtered = [s for s in stmts if s is not None]
+        if not filtered:
+            return None
+        if len(filtered) == 1:
+            return filtered[0]
+        return Block(filtered)
+
+
+class IfThenElse(Stmt):
+    """A conditional statement."""
+
+    __slots__ = ("condition", "then_case", "else_case")
+
+    def __init__(self, condition: Expr, then_case: Stmt, else_case: Optional[Stmt] = None):
+        self.condition = condition
+        self.then_case = then_case
+        self.else_case = else_case
+
+    def _key(self):
+        return (self.condition, self.then_case, self.else_case)
+
+
+class Evaluate(Stmt):
+    """Evaluate an expression for its side effects (used for tracing hooks)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Expr):
+        self.value = value
+
+    def _key(self):
+        return (self.value,)

@@ -1,0 +1,85 @@
+"""A read-only visitor over IR trees.
+
+Subclasses override ``visit_<NodeClass>`` methods; the default implementation
+recurses into every child.  Used by analyses such as bounds inference, call
+collection, and the pipeline statistics used for Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.ir import expr as E
+from repro.ir import stmt as S
+
+__all__ = ["IRVisitor"]
+
+
+class IRVisitor:
+    """Depth-first traversal of expressions and statements."""
+
+    def visit(self, node):
+        if node is None:
+            return None
+        method = getattr(self, "visit_" + type(node).__name__, None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    # -- default recursion -------------------------------------------------
+    def generic_visit(self, node):
+        for child in children_of(node):
+            self.visit(child)
+        return None
+
+
+def children_of(node):
+    """Yield the direct Expr/Stmt children of an IR node."""
+    if isinstance(node, (E.IntImm, E.FloatImm, E.Variable)):
+        return ()
+    if isinstance(node, E.Cast):
+        return (node.value,)
+    if isinstance(node, E._BinaryOp):
+        return (node.a, node.b)
+    if isinstance(node, E.Not):
+        return (node.a,)
+    if isinstance(node, E.Select):
+        return (node.condition, node.true_value, node.false_value)
+    if isinstance(node, E.Load):
+        return (node.index,)
+    if isinstance(node, E.Ramp):
+        return (node.base, node.stride)
+    if isinstance(node, E.Broadcast):
+        return (node.value,)
+    if isinstance(node, E.Call):
+        return node.args
+    if isinstance(node, E.Let):
+        return (node.value, node.body)
+
+    if isinstance(node, S.For):
+        return (node.min, node.extent, node.body)
+    if isinstance(node, S.LetStmt):
+        return (node.value, node.body)
+    if isinstance(node, S.AssertStmt):
+        return (node.condition,)
+    if isinstance(node, S.ProducerConsumer):
+        return (node.body,)
+    if isinstance(node, S.Provide):
+        return tuple(node.args) + (node.value,)
+    if isinstance(node, S.Store):
+        return (node.index, node.value)
+    if isinstance(node, S.Realize):
+        bounds = tuple(b for pair in node.bounds for b in pair)
+        return bounds + (node.body,)
+    if isinstance(node, S.Allocate):
+        return (node.size, node.body)
+    if isinstance(node, S.Block):
+        return node.stmts
+    if isinstance(node, S.IfThenElse):
+        if node.else_case is not None:
+            return (node.condition, node.then_case, node.else_case)
+        return (node.condition, node.then_case)
+    if isinstance(node, S.Evaluate):
+        return (node.value,)
+    # Front-end helper expressions (e.g. FuncRef) expose their children as .args.
+    if isinstance(node, E.Expr) and hasattr(node, "args"):
+        return tuple(node.args)
+    raise TypeError(f"unknown IR node {type(node).__name__}")

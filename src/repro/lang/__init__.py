@@ -1,0 +1,79 @@
+"""The user-facing Halide-style embedded DSL.
+
+Pipelines are written as chains of :class:`Func` objects defining images as
+pure functions over an infinite integer domain (Section 2 of the paper)::
+
+    from repro.lang import Func, Var, Buffer
+    from repro import UInt
+
+    x, y = Var("x"), Var("y")
+    in_ = Buffer.from_array(image, name="input")
+    blur_x, blur_y = Func("blur_x"), Func("blur_y")
+    blur_x[x, y] = (in_[x - 1, y] + in_[x, y] + in_[x + 1, y]) / 3
+    blur_y[x, y] = (blur_x[x, y - 1] + blur_x[x, y] + blur_x[x, y + 1]) / 3
+
+Schedules are applied to the same objects (``blur_y.tile(...).parallel(...)``,
+``blur_x.compute_at(blur_y, x)``), and :meth:`Func.realize` runs the compiled
+pipeline.
+"""
+
+from repro.lang.var import Var
+from repro.lang.rdom import RDom, RVar
+from repro.lang.buffer import Buffer
+from repro.lang.param import ImageParam, Param
+from repro.lang.func import Func, FuncRef
+from repro.lang.builtins import (
+    abs_,
+    cast,
+    ceil,
+    clamp,
+    cos,
+    exp,
+    floor,
+    log,
+    max_,
+    maximum,
+    min_,
+    minimum,
+    pow_,
+    product,
+    round_,
+    select,
+    sin,
+    sqrt,
+    sum_,
+)
+from repro.lang.boundary import constant_exterior, mirror_image, repeat_edge
+
+__all__ = [
+    "Var",
+    "RDom",
+    "RVar",
+    "Buffer",
+    "ImageParam",
+    "Param",
+    "Func",
+    "FuncRef",
+    "abs_",
+    "cast",
+    "ceil",
+    "clamp",
+    "cos",
+    "exp",
+    "floor",
+    "log",
+    "max_",
+    "maximum",
+    "min_",
+    "minimum",
+    "pow_",
+    "product",
+    "round_",
+    "select",
+    "sin",
+    "sqrt",
+    "sum_",
+    "constant_exterior",
+    "mirror_image",
+    "repeat_edge",
+]

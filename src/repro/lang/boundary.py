@@ -1,0 +1,83 @@
+"""Boundary condition helpers.
+
+Because Funcs are defined over an infinite domain, boundary conditions are
+ordinary stages: a wrapper Func that clamps, mirrors, or pads its source.
+These helpers build the common patterns used by the example applications.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.ir import op
+from repro.lang.var import Var
+
+__all__ = ["repeat_edge", "constant_exterior", "mirror_image"]
+
+
+def _extents_of(source, bounds):
+    if bounds is not None:
+        return list(bounds)
+    if hasattr(source, "shape"):
+        return [(0, int(extent)) for extent in source.shape]
+    raise ValueError(
+        "boundary conditions need explicit bounds [(min, extent), ...] unless the "
+        "source is a concrete Buffer"
+    )
+
+
+def _make_vars(n: int) -> Tuple[Var, ...]:
+    names = ("x", "y", "c", "w")
+    return tuple(Var(f"_{names[i] if i < len(names) else i}") for i in range(n))
+
+
+def repeat_edge(source, bounds: Optional[Sequence[Tuple[int, int]]] = None,
+                name: Optional[str] = None):
+    """Clamp out-of-range coordinates to the nearest edge of the source."""
+    from repro.lang.func import Func
+
+    extents = _extents_of(source, bounds)
+    variables = _make_vars(len(extents))
+    clamped = [
+        op.clamp(v, mn, mn + extent - 1) for v, (mn, extent) in zip(variables, extents)
+    ]
+    wrapper = Func(name if name is not None else f"{getattr(source, 'name', 'img')}_clamped")
+    wrapper[variables] = source[tuple(clamped)]
+    return wrapper
+
+
+def constant_exterior(source, value, bounds: Optional[Sequence[Tuple[int, int]]] = None,
+                      name: Optional[str] = None):
+    """Return ``value`` outside the source bounds, the source inside."""
+    from repro.lang.func import Func
+
+    extents = _extents_of(source, bounds)
+    variables = _make_vars(len(extents))
+    inside = None
+    clamped = []
+    for v, (mn, extent) in zip(variables, extents):
+        this_dim = (v >= mn) & (v <= mn + extent - 1)
+        inside = this_dim if inside is None else (inside & this_dim)
+        clamped.append(op.clamp(v, mn, mn + extent - 1))
+    wrapper = Func(name if name is not None else f"{getattr(source, 'name', 'img')}_padded")
+    interior = source[tuple(clamped)]
+    wrapper[variables] = op.make_select(inside, interior, op.cast(interior.type, value))
+    return wrapper
+
+
+def mirror_image(source, bounds: Optional[Sequence[Tuple[int, int]]] = None,
+                 name: Optional[str] = None):
+    """Reflect coordinates about the edges of the source (mirror boundary)."""
+    from repro.lang.func import Func
+
+    extents = _extents_of(source, bounds)
+    variables = _make_vars(len(extents))
+    mirrored = []
+    for v, (mn, extent) in zip(variables, extents):
+        # Reflect into [0, 2*extent), then fold the upper half back down.
+        offset = (v - mn) % (2 * extent)
+        folded = op.make_select(offset < extent, offset, 2 * extent - 1 - offset)
+        mirrored.append(folded + mn)
+    wrapper = Func(name if name is not None else f"{getattr(source, 'name', 'img')}_mirrored")
+    wrapper[variables] = source[tuple(mirrored)]
+    return wrapper

@@ -1,0 +1,79 @@
+"""Concrete images: numpy-backed buffers readable from pipeline definitions.
+
+A :class:`Buffer` wraps a numpy array.  Dimension ``i`` of the buffer
+corresponds to axis ``i`` of the array, and by convention images are indexed
+``(x, y[, c])`` — i.e. ``shape = (width, height[, channels])``.  Reading a
+buffer inside a Func definition (``in_[x - 1, y]``) produces an ``IMAGE`` call
+in the IR; the runtime resolves it against the wrapped array.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir import op
+from repro.ir.expr import Call, CallType, Expr
+from repro.types import Type
+
+__all__ = ["Buffer"]
+
+_counter = itertools.count()
+
+
+class Buffer:
+    """A named, typed, numpy-backed image."""
+
+    def __init__(self, array: np.ndarray, name: Optional[str] = None):
+        self.name = name if name is not None else f"buf{next(_counter)}"
+        self.array = np.ascontiguousarray(array)
+        self.type: Type = Type.from_numpy_dtype(self.array.dtype)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_array(cls, array: np.ndarray, name: Optional[str] = None) -> "Buffer":
+        return cls(array, name)
+
+    @classmethod
+    def zeros(cls, shape: Sequence[int], type: Type, name: Optional[str] = None) -> "Buffer":
+        return cls(np.zeros(tuple(shape), dtype=type.to_numpy_dtype()), name)
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.array.shape
+
+    def dimensions(self) -> int:
+        return self.array.ndim
+
+    def width(self) -> int:
+        return int(self.array.shape[0])
+
+    def height(self) -> int:
+        return int(self.array.shape[1])
+
+    def channels(self) -> int:
+        return int(self.array.shape[2]) if self.array.ndim >= 3 else 1
+
+    def extent(self, dim: int) -> int:
+        return int(self.array.shape[dim])
+
+    # -- use inside definitions --------------------------------------------
+    def __getitem__(self, args) -> Expr:
+        if not isinstance(args, tuple):
+            args = (args,)
+        if len(args) != self.array.ndim:
+            raise IndexError(
+                f"buffer {self.name!r} has {self.array.ndim} dimensions, "
+                f"indexed with {len(args)}"
+            )
+        index_exprs = [op.as_expr(a) for a in args]
+        return Call(self.type, self.name, index_exprs, CallType.IMAGE, target=self)
+
+    def __call__(self, *args) -> Expr:
+        return self[args]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Buffer({self.name!r}, shape={self.array.shape}, type={self.type!r})"

@@ -1,0 +1,178 @@
+"""Built-in operations of the DSL: math intrinsics and inline reductions.
+
+``sum_``, ``product``, ``maximum`` and ``minimum`` build the small helper
+stages that the paper's higher-order sugar would produce: an initial value
+plus an update over the reduction domain, returned as a call so they compose
+inside larger expressions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Union
+
+from repro.ir import op
+from repro.ir.expr import Call, CallType, Expr, Variable
+from repro.lang.rdom import RDom, RVar, rvars_in
+from repro.lang.var import Var
+from repro.types import Float, Type
+
+__all__ = [
+    "cast",
+    "select",
+    "min_",
+    "max_",
+    "clamp",
+    "sqrt",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "pow_",
+    "abs_",
+    "floor",
+    "ceil",
+    "round_",
+    "sum_",
+    "product",
+    "maximum",
+    "minimum",
+]
+
+cast = op.cast
+select = op.make_select
+min_ = op.min_
+max_ = op.max_
+clamp = op.clamp
+
+_counter = itertools.count()
+
+
+def _math_call(name: str, x, result_type: Optional[Type] = None) -> Expr:
+    e = op.as_expr(x)
+    if result_type is None:
+        result_type = e.type if e.type.is_float() else Float(32, e.type.lanes)
+    if not e.type.is_float():
+        e = op.cast(Float(32, e.type.lanes), e)
+    return Call(result_type, name, [e], CallType.INTRINSIC)
+
+
+def sqrt(x) -> Expr:
+    """Square root (always float)."""
+    return _math_call("sqrt", x)
+
+
+def exp(x) -> Expr:
+    """Exponential (always float)."""
+    return _math_call("exp", x)
+
+
+def log(x) -> Expr:
+    """Natural logarithm (always float)."""
+    return _math_call("log", x)
+
+
+def sin(x) -> Expr:
+    return _math_call("sin", x)
+
+
+def cos(x) -> Expr:
+    return _math_call("cos", x)
+
+
+def pow_(x, y) -> Expr:
+    """``x ** y`` in floating point."""
+    ex = op.as_expr(x)
+    ey = op.as_expr(y)
+    t = Float(32, max(ex.type.lanes, ey.type.lanes))
+    if not ex.type.is_float():
+        ex = op.cast(Float(32, ex.type.lanes), ex)
+    if not ey.type.is_float():
+        ey = op.cast(Float(32, ey.type.lanes), ey)
+    return Call(t, "pow", [ex, ey], CallType.INTRINSIC)
+
+
+def abs_(x) -> Expr:
+    """Absolute value."""
+    e = op.as_expr(x)
+    return Call(e.type, "abs", [e], CallType.INTRINSIC)
+
+
+def floor(x) -> Expr:
+    """Largest integer not greater than x (returned as float)."""
+    return _math_call("floor", x)
+
+
+def ceil(x) -> Expr:
+    """Smallest integer not less than x (returned as float)."""
+    return _math_call("ceil", x)
+
+
+def round_(x) -> Expr:
+    """Round to nearest integer (returned as float)."""
+    return _math_call("round", x)
+
+
+def _pure_vars_of(e: Expr) -> List[Var]:
+    """Pure (non-reduction) variables of an expression, in order of appearance."""
+    from repro.ir.visitor import children_of
+
+    found: List[Var] = []
+    seen = set()
+
+    def walk(node):
+        if isinstance(node, RVar):
+            return
+        if isinstance(node, Var):
+            if node.name not in seen:
+                seen.add(node.name)
+                found.append(node)
+            return
+        if isinstance(node, Expr):
+            for child in children_of(node):
+                walk(child)
+
+    walk(e)
+    return found
+
+
+def _inline_reduction(e, init_value, combine, name: Optional[str], kind: str) -> Expr:
+    """Build the helper Func implementing an inline reduction and return a call to it."""
+    from repro.lang.func import Func
+
+    expr = op.as_expr(e)
+    rvars = rvars_in(expr)
+    if not rvars:
+        raise ValueError(f"{kind}() requires an expression involving a reduction domain")
+    pure_vars = _pure_vars_of(expr)
+    helper = Func(name if name is not None else f"{kind}{next(_counter)}")
+    helper[tuple(pure_vars) if pure_vars else (Var("_"),)] = op.cast(expr.type, init_value)
+    ref = helper[tuple(pure_vars) if pure_vars else (0,)]
+    helper[tuple(pure_vars) if pure_vars else (0,)] = combine(ref, expr)
+    if pure_vars:
+        return helper[tuple(pure_vars)]
+    return helper[0]
+
+
+def sum_(e, name: Optional[str] = None) -> Expr:
+    """Sum of an expression over its reduction domain (an inline reduction)."""
+    return _inline_reduction(e, 0, lambda acc, x: acc + x, name, "sum")
+
+
+def product(e, name: Optional[str] = None) -> Expr:
+    """Product of an expression over its reduction domain."""
+    return _inline_reduction(e, 1, lambda acc, x: acc * x, name, "product")
+
+
+def maximum(e, name: Optional[str] = None) -> Expr:
+    """Maximum of an expression over its reduction domain."""
+    expr = op.as_expr(e)
+    lowest = expr.type.min_value()
+    return _inline_reduction(expr, lowest, op.max_, name, "maximum")
+
+
+def minimum(e, name: Optional[str] = None) -> Expr:
+    """Minimum of an expression over its reduction domain."""
+    expr = op.as_expr(e)
+    highest = expr.type.max_value()
+    return _inline_reduction(expr, highest, op.min_, name, "minimum")

@@ -1,0 +1,300 @@
+"""The central DSL object: :class:`Func`, a stage of an image processing pipeline.
+
+A ``Func`` is defined once over pure variables (``f[x, y] = expr``), may be
+extended with update definitions (reductions, scans, scatters), is scheduled
+through chainable methods (``tile``, ``vectorize``, ``parallel``,
+``compute_at``, ``store_at``...), and is executed with :meth:`Func.realize`.
+
+The algorithm-side API and the schedule-side API live on the same object but
+never interact: the schedule can only change *how* the pipeline runs, never
+*what* it computes — the property the paper's split design guarantees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.function import Function
+from repro.core.loop_level import LoopLevel
+from repro.core.schedule import ScheduleError
+from repro.core.split import TailStrategy
+from repro.ir import op
+from repro.ir.expr import Call, CallType, Expr
+from repro.lang.rdom import RDom, RVar, rvars_in
+from repro.lang.var import Var
+
+__all__ = ["Func", "FuncRef"]
+
+_counter = itertools.count()
+
+
+class FuncRef(Expr):
+    """A reference to a point of a Func (``f[x, y]``), usable inside expressions."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: "Func", args: Sequence[Expr]):
+        self.func = func
+        self.args = tuple(op.as_expr(a) for a in args)
+        function = func.function
+        if function.has_pure_definition():
+            self.type = function.output_type
+        else:
+            from repro.types import Int
+
+            self.type = Int(32)
+
+    def _key(self):
+        return (self.func.name, self.args)
+
+    def to_call(self) -> Call:
+        """The IR call node this reference stands for."""
+        function = self.func.function
+        if not function.has_pure_definition():
+            raise RuntimeError(
+                f"function {self.func.name!r} is used before it is defined; "
+                "give it a pure definition first"
+            )
+        return Call(function.output_type, function.name, self.args, CallType.HALIDE,
+                    target=function)
+
+
+def _lower_func_refs(e: Expr) -> Expr:
+    """Replace :class:`FuncRef` nodes with IR calls throughout an expression."""
+    from repro.ir.mutator import IRMutator
+
+    class _Lower(IRMutator):
+        def visit_FuncRef(self, node: FuncRef):
+            call = node.to_call()
+            args = [self.mutate(a) for a in call.args]
+            return Call(call.type, call.name, args, call.call_type, target=call.target)
+
+    return _Lower().mutate(op.as_expr(e))
+
+
+class Func:
+    """One stage of a pipeline (a wrapper around :class:`repro.core.function.Function`)."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.function = Function(name if name is not None else f"f{next(_counter)}")
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    @property
+    def schedule(self):
+        sched = self.function.schedule
+        if sched is None:
+            raise RuntimeError(f"function {self.name!r} must be defined before it is scheduled")
+        return sched
+
+    def defined(self) -> bool:
+        return self.function.has_pure_definition()
+
+    def dimensions(self) -> int:
+        return self.function.dimensions()
+
+    @property
+    def args(self) -> List[str]:
+        return self.function.args
+
+    @property
+    def output_type(self):
+        return self.function.output_type
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Func({self.name!r})"
+
+    # ------------------------------------------------------------------
+    # definitions
+    # ------------------------------------------------------------------
+    def __getitem__(self, args) -> FuncRef:
+        if not isinstance(args, tuple):
+            args = (args,)
+        return FuncRef(self, args)
+
+    def __call__(self, *args) -> FuncRef:
+        return self[args]
+
+    def __setitem__(self, args, value) -> None:
+        if not isinstance(args, tuple):
+            args = (args,)
+        value = _lower_func_refs(op.as_expr(value))
+
+        is_pure_lhs = (
+            all(isinstance(a, Var) and not isinstance(a, RVar) for a in args)
+            and len({a.name for a in args}) == len(args)
+        )
+        if is_pure_lhs and not self.function.has_pure_definition():
+            self.function.define([a.name for a in args], value)
+            return
+
+        # Anything else is an update definition.
+        arg_exprs = [_lower_func_refs(op.as_expr(a)) for a in args]
+        rvars = rvars_in(list(arg_exprs) + [value])
+        rdom = None
+        if rvars:
+            domains = {id(v.domain): v.domain for v in rvars if v.domain is not None}
+            if len(domains) > 1:
+                raise ValueError(
+                    f"update of {self.name!r} mixes reduction variables from different RDoms"
+                )
+            rdom = next(iter(domains.values())).domain if domains else None
+        self.function.define_update(arg_exprs, value, rdom)
+
+    # ------------------------------------------------------------------
+    # domain-order scheduling directives (all return self for chaining)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _name_of(v) -> str:
+        return v.name if hasattr(v, "name") else str(v)
+
+    def split(self, old, outer, inner, factor: int,
+              tail: TailStrategy = TailStrategy.ROUND_UP) -> "Func":
+        """Split dimension ``old`` into ``outer`` (slow) and ``inner`` (fast) by ``factor``."""
+        self.schedule.split(self._name_of(old), self._name_of(outer),
+                            self._name_of(inner), factor, tail)
+        return self
+
+    def tile(self, x, y, xo, yo, xi, yi, xfactor: int, yfactor: int) -> "Func":
+        """Tile the (x, y) domain: split both and order the tile loops innermost."""
+        self.split(x, xo, xi, xfactor)
+        self.split(y, yo, yi, yfactor)
+        self.reorder(xi, yi, xo, yo)
+        return self
+
+    def reorder(self, *vars) -> "Func":
+        """Reorder loop dimensions; arguments are given innermost first."""
+        self.schedule.reorder([self._name_of(v) for v in vars])
+        return self
+
+    def parallel(self, var) -> "Func":
+        """Execute a dimension's iterations in parallel."""
+        self.schedule.parallel(self._name_of(var))
+        return self
+
+    def serial(self, var) -> "Func":
+        """Execute a dimension sequentially (the default)."""
+        self.schedule.serial(self._name_of(var))
+        return self
+
+    def vectorize(self, var, factor: Optional[int] = None) -> "Func":
+        """Vectorize a dimension.
+
+        With ``factor``, the dimension is first split by the vector width (the
+        outer part keeps iterating serially and gets the name ``<var>o``, the
+        inner part ``<var>i`` is vectorized); without, the dimension must
+        already have a constant extent (e.g. be the inner half of a split).
+        """
+        name = self._name_of(var)
+        if factor is not None:
+            outer, inner = self._fresh_names(name)
+            self.schedule.split(name, outer, inner, factor)
+            self.schedule.vectorize(inner)
+        else:
+            self.schedule.vectorize(name)
+        return self
+
+    def unroll(self, var, factor: Optional[int] = None) -> "Func":
+        """Unroll a dimension (splitting first when a factor is given)."""
+        name = self._name_of(var)
+        if factor is not None:
+            outer, inner = self._fresh_names(name)
+            self.schedule.split(name, outer, inner, factor)
+            self.schedule.unroll(inner)
+        else:
+            self.schedule.unroll(name)
+        return self
+
+    def _fresh_names(self, base: str) -> Tuple[str, str]:
+        outer, inner = f"{base}o", f"{base}i"
+        suffix = 0
+        while self.schedule.has_dim(outer) or self.schedule.has_dim(inner):
+            suffix += 1
+            outer, inner = f"{base}o{suffix}", f"{base}i{suffix}"
+        return outer, inner
+
+    def bound(self, var, min_value: int, extent: int) -> "Func":
+        """Promise the realized bounds of a storage dimension (e.g. color channels)."""
+        self.schedule.bound(self._name_of(var), min_value, extent)
+        return self
+
+    def gpu_blocks(self, *vars) -> "Func":
+        """Map dimensions onto the simulated GPU's block grid."""
+        for v in vars:
+            self.schedule.gpu_blocks(self._name_of(v))
+        return self
+
+    def gpu_threads(self, *vars) -> "Func":
+        """Map dimensions onto the simulated GPU's threads within a block."""
+        for v in vars:
+            self.schedule.gpu_threads(self._name_of(v))
+        return self
+
+    def gpu_tile(self, x, y, xi, yi, xfactor: int, yfactor: int) -> "Func":
+        """Tile and map the tile grid to GPU blocks and the intra-tile loops to threads."""
+        xo, yo = Var(f"{self._name_of(x)}_blk"), Var(f"{self._name_of(y)}_blk")
+        self.tile(x, y, xo, yo, xi, yi, xfactor, yfactor)
+        self.gpu_blocks(xo, yo)
+        self.gpu_threads(xi, yi)
+        return self
+
+    # ------------------------------------------------------------------
+    # call-schedule directives
+    # ------------------------------------------------------------------
+    def compute_at(self, consumer: "Func", var) -> "Func":
+        """Compute this stage as needed for each iteration of ``consumer``'s loop ``var``."""
+        self.schedule.compute_at(LoopLevel.at(consumer.name, self._name_of(var)))
+        return self
+
+    def compute_root(self) -> "Func":
+        """Compute this stage entirely before any consumer runs (breadth-first)."""
+        self.schedule.compute_root()
+        return self
+
+    def compute_inline(self) -> "Func":
+        """Inline this stage into its callers (the default for pure stages)."""
+        self.schedule.compute_inline()
+        return self
+
+    def store_at(self, consumer: "Func", var) -> "Func":
+        """Allocate this stage's storage at ``consumer``'s loop ``var``."""
+        self.schedule.store_at(LoopLevel.at(consumer.name, self._name_of(var)))
+        return self
+
+    def store_root(self) -> "Func":
+        """Allocate this stage's storage outside all loops."""
+        self.schedule.store_root()
+        return self
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def realize(self, sizes: Sequence[int], **kwargs) -> np.ndarray:
+        """Compile and run the pipeline, returning the output as a numpy array.
+
+        ``sizes`` gives the extent of each output dimension (width, height, ...).
+        Keyword arguments are forwarded to :class:`repro.pipeline.Pipeline.realize`.
+        """
+        from repro.pipeline import Pipeline
+
+        return Pipeline(self).realize(sizes, **kwargs)
+
+    def compile_to_stmt(self, sizes: Optional[Sequence[int]] = None):
+        """Lower the pipeline and return the IR statement (for inspection/tests)."""
+        from repro.pipeline import Pipeline
+
+        return Pipeline(self).lower(sizes)
+
+    def print_loop_nest(self, sizes: Optional[Sequence[int]] = None) -> str:
+        """A human-readable rendering of the synthesized loop nest."""
+        from repro.ir.printer import pretty_print
+
+        return pretty_print(self.compile_to_stmt(sizes))

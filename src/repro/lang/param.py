@@ -1,0 +1,124 @@
+"""Runtime parameters: scalar :class:`Param` and whole-image :class:`ImageParam`.
+
+The paper's generated pipelines are C-ABI functions taking buffers and scalar
+parameters.  Here, parameters are bound to Python values / numpy arrays before
+``realize`` is called; reading an unbound parameter raises.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.ir import op
+from repro.ir.expr import Call, CallType, Expr, Variable
+from repro.lang.buffer import Buffer
+from repro.types import Type
+
+__all__ = ["Param", "ImageParam"]
+
+_counter = itertools.count()
+
+
+class Param:
+    """A named scalar runtime parameter (e.g. a filter strength)."""
+
+    def __init__(self, type: Type, name: Optional[str] = None, value=None):
+        self.name = name if name is not None else f"p{next(_counter)}"
+        self.type = type
+        self.value = value
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def expr(self) -> Expr:
+        """The parameter as an expression (a free variable bound at runtime)."""
+        return Variable(self.name, self.type)
+
+    # Allow `param + 1` style arithmetic by delegating to the variable expr.
+    def __add__(self, other):
+        return self.expr() + other
+
+    def __radd__(self, other):
+        return other + self.expr()
+
+    def __sub__(self, other):
+        return self.expr() - other
+
+    def __rsub__(self, other):
+        return other - self.expr()
+
+    def __mul__(self, other):
+        return self.expr() * other
+
+    def __rmul__(self, other):
+        return other * self.expr()
+
+    def __truediv__(self, other):
+        return self.expr() / other
+
+    def __rtruediv__(self, other):
+        return other / self.expr()
+
+
+class ImageParam:
+    """A named image parameter, bound to a :class:`Buffer` before execution."""
+
+    def __init__(self, type: Type, dimensions: int, name: Optional[str] = None):
+        self.name = name if name is not None else f"img{next(_counter)}"
+        self.type = type
+        self._dimensions = dimensions
+        self._buffer: Optional[Buffer] = None
+
+    def dimensions(self) -> int:
+        return self._dimensions
+
+    def set(self, buffer) -> None:
+        """Bind a numpy array or :class:`Buffer` to this parameter."""
+        if isinstance(buffer, np.ndarray):
+            buffer = Buffer(buffer, name=self.name)
+        if buffer.dimensions() != self._dimensions:
+            raise ValueError(
+                f"image parameter {self.name!r} expects {self._dimensions} dimensions, "
+                f"got {buffer.dimensions()}"
+            )
+        expected = self.type.to_numpy_dtype()
+        if buffer.array.dtype != expected:
+            raise TypeError(
+                f"image parameter {self.name!r} expects dtype {expected}, "
+                f"got {buffer.array.dtype}"
+            )
+        self._buffer = buffer
+
+    def get(self) -> Buffer:
+        if self._buffer is None:
+            raise RuntimeError(f"image parameter {self.name!r} is unbound")
+        return self._buffer
+
+    def is_bound(self) -> bool:
+        return self._buffer is not None
+
+    def width(self) -> int:
+        return self.get().width()
+
+    def height(self) -> int:
+        return self.get().height()
+
+    def channels(self) -> int:
+        return self.get().channels()
+
+    def __getitem__(self, args) -> Expr:
+        if not isinstance(args, tuple):
+            args = (args,)
+        if len(args) != self._dimensions:
+            raise IndexError(
+                f"image parameter {self.name!r} has {self._dimensions} dimensions, "
+                f"indexed with {len(args)}"
+            )
+        index_exprs = [op.as_expr(a) for a in args]
+        return Call(self.type, self.name, index_exprs, CallType.IMAGE, target=self)
+
+    def __call__(self, *args) -> Expr:
+        return self[args]

@@ -1,0 +1,142 @@
+"""Reduction domains (``RDom``) and reduction variables (``RVar``).
+
+A reduction domain is a bounded, ordered, multi-dimensional iteration space.
+Update definitions that use its variables are applied in lexicographic order
+across the domain, which is how histograms, scans, and general convolutions
+are expressed (Section 2, "Reduction functions").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Union
+
+from repro.core.definition import ReductionDomain, ReductionVariable
+from repro.ir import op
+from repro.ir.expr import Expr, Variable
+from repro.types import Int
+
+__all__ = ["RVar", "RDom"]
+
+_counter = itertools.count()
+
+
+class RVar(Variable):
+    """One variable of a reduction domain."""
+
+    __slots__ = ("min", "extent", "domain")
+
+    def __init__(self, name: str, min, extent, domain: "RDom" = None):
+        super().__init__(name, Int(32))
+        self.min = op.as_expr(min)
+        self.extent = op.as_expr(extent)
+        self.domain = domain
+
+
+class RDom:
+    """A multi-dimensional reduction domain.
+
+    Construct with ``(min, extent)`` pairs, one per dimension::
+
+        r = RDom(0, width, 0, height)     # r.x over [0, width), r.y over [0, height)
+        ri = RDom(0, 256)                 # ri over [0, 256)
+
+    The first four dimensions are accessible as ``r.x``, ``r.y``, ``r.z``,
+    ``r.w``; a one-dimensional domain can be used directly as an expression.
+    """
+
+    _dim_names = ("x", "y", "z", "w")
+
+    def __init__(self, *ranges, name: str = None):
+        if len(ranges) % 2 != 0:
+            raise ValueError("RDom expects (min, extent) pairs")
+        if not ranges:
+            raise ValueError("RDom needs at least one (min, extent) pair")
+        self.name = name if name is not None else f"r{next(_counter)}"
+        pairs = [(ranges[i], ranges[i + 1]) for i in range(0, len(ranges), 2)]
+        self._rvars: List[RVar] = []
+        for i, (mn, ext) in enumerate(pairs):
+            suffix = self._dim_names[i] if i < len(self._dim_names) else str(i)
+            rvar = RVar(f"{self.name}.{suffix}", mn, ext, self)
+            self._rvars.append(rvar)
+        self.domain = ReductionDomain(
+            [ReductionVariable(v.name, v.min, v.extent) for v in self._rvars]
+        )
+
+    # -- accessors --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rvars)
+
+    def __getitem__(self, i: int) -> RVar:
+        return self._rvars[i]
+
+    def __iter__(self):
+        return iter(self._rvars)
+
+    @property
+    def x(self) -> RVar:
+        return self._rvars[0]
+
+    @property
+    def y(self) -> RVar:
+        return self._rvars[1]
+
+    @property
+    def z(self) -> RVar:
+        return self._rvars[2]
+
+    @property
+    def w(self) -> RVar:
+        return self._rvars[3]
+
+    # A 1-D RDom can stand in for its single variable inside expressions.
+    def _as_expr(self) -> RVar:
+        if len(self._rvars) != 1:
+            raise ValueError(
+                f"RDom {self.name!r} has {len(self._rvars)} dimensions; "
+                "use r.x, r.y, ... to pick one"
+            )
+        return self._rvars[0]
+
+    def __add__(self, other):
+        return self._as_expr() + other
+
+    def __radd__(self, other):
+        return other + self._as_expr()
+
+    def __sub__(self, other):
+        return self._as_expr() - other
+
+    def __rsub__(self, other):
+        return other - self._as_expr()
+
+    def __mul__(self, other):
+        return self._as_expr() * other
+
+    def __rmul__(self, other):
+        return other * self._as_expr()
+
+
+def rvars_in(e: Union[Expr, Sequence[Expr]]) -> List[RVar]:
+    """All distinct reduction variables appearing in an expression (or list)."""
+    from repro.ir.visitor import children_of
+
+    found: List[RVar] = []
+    seen = set()
+
+    def walk(node):
+        if isinstance(node, RVar):
+            if node.name not in seen:
+                seen.add(node.name)
+                found.append(node)
+            return
+        if isinstance(node, Expr):
+            for child in children_of(node):
+                walk(child)
+
+    if isinstance(e, Expr):
+        walk(e)
+    else:
+        for item in e:
+            walk(item)
+    return found

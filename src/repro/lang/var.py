@@ -1,0 +1,33 @@
+"""Free variables of the infinite integer domain over which Funcs are defined."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.expr import Variable
+from repro.types import Int
+
+__all__ = ["Var"]
+
+_counter = itertools.count()
+
+
+class Var(Variable):
+    """A named dimension variable (``x``, ``y``, ``c`` ...).
+
+    ``Var`` is a subclass of the IR :class:`~repro.ir.expr.Variable`, so it can
+    be used directly inside arithmetic expressions; in a definition's left-hand
+    side it names a dimension of the function being defined.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, name: str = None):
+        if name is None:
+            name = f"v{next(_counter)}"
+        super().__init__(name, Int(32))
+
+    @staticmethod
+    def implicit(i: int) -> "Var":
+        """The i-th implicit variable (used by scheduling helpers)."""
+        return Var(f"_{i}")

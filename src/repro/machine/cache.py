@@ -1,0 +1,128 @@
+"""A two-level set-associative cache simulator.
+
+The simulator is fed byte addresses (buffer base + element offset) by the cost
+model and classifies each access as an L1 hit, L2 hit, or memory access.  It
+uses LRU replacement within each set.  It exists to make producer-consumer
+locality — the central concern of the paper — visible to the cost model:
+breadth-first schedules stream intermediate stages through memory and miss,
+fused/tiled schedules hit in cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["CacheLevel", "CacheSimulator", "CacheStats"]
+
+
+class CacheLevel:
+    """One level of a set-associative LRU cache."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, associativity: int = 8):
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = max(1, size_bytes // (line_bytes * associativity))
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch the line containing ``address``; returns True on a hit."""
+        line = address // self.line_bytes
+        cache_set = self._sets[line % self.num_sets]
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        cache_set[line] = None
+        if len(cache_set) > self.associativity:
+            cache_set.popitem(last=False)
+        return False
+
+    def reset(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class CacheStats:
+    """Aggregate hit/miss counts from a simulation run."""
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.l1_hits + self.l1_misses
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.l2_misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+        }
+
+
+class CacheSimulator:
+    """A two-level cache hierarchy with a flat address space for pipeline buffers."""
+
+    def __init__(self, l1_size: int = 32 * 1024, l2_size: int = 8 * 1024 * 1024,
+                 line_bytes: int = 64, l1_associativity: int = 8,
+                 l2_associativity: int = 16):
+        self.line_bytes = line_bytes
+        self.l1 = CacheLevel(l1_size, line_bytes, l1_associativity)
+        self.l2 = CacheLevel(l2_size, line_bytes, l2_associativity)
+        self.stats = CacheStats()
+        self._next_base = 0
+        self._bases: Dict[str, int] = {}
+
+    # -- address space ------------------------------------------------------
+    def register_buffer(self, name: str, size_bytes: int) -> int:
+        """Assign a base address to a buffer (idempotent per name)."""
+        if name not in self._bases:
+            # Align each buffer to a line boundary and leave a guard line
+            # between buffers so distinct buffers never share a cache line.
+            aligned = (size_bytes + self.line_bytes - 1) // self.line_bytes + 1
+            self._bases[name] = self._next_base
+            self._next_base += aligned * self.line_bytes
+        return self._bases[name]
+
+    def address_of(self, name: str, element_index: int, element_bytes: int) -> int:
+        base = self._bases.get(name)
+        if base is None:
+            base = self.register_buffer(name, 1 << 20)
+        return base + element_index * element_bytes
+
+    # -- access simulation ----------------------------------------------------
+    def access(self, name: str, element_index: int, element_bytes: int) -> int:
+        """Simulate one element access; returns the level it hit (1, 2, or 3=memory)."""
+        address = self.address_of(name, int(element_index), element_bytes)
+        if self.l1.access(address):
+            self.stats.l1_hits += 1
+            return 1
+        self.stats.l1_misses += 1
+        if self.l2.access(address):
+            self.stats.l2_hits += 1
+            return 2
+        self.stats.l2_misses += 1
+        return 3
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+        self.stats = CacheStats()
+        self._next_base = 0
+        self._bases.clear()

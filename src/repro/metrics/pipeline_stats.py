@@ -1,0 +1,140 @@
+"""Static pipeline statistics: the quantities reported in Figure 6 of the paper
+(#functions, #stencils, graph structure) computed from the algorithm alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.call_graph import build_environment, find_direct_calls
+from repro.core.function import Function
+from repro.ir import expr as E
+from repro.ir.visitor import IRVisitor
+
+__all__ = ["PipelineStats", "analyze_pipeline"]
+
+
+@dataclass
+class PipelineStats:
+    """Summary statistics of one pipeline's call graph."""
+
+    name: str
+    num_functions: int
+    num_stencils: int
+    num_reductions: int
+    num_data_dependent: int
+    num_edges: int
+    depth: int
+
+    def structure(self) -> str:
+        """A qualitative label comparable to Figure 6's "graph structure" column."""
+        if self.num_functions <= 3:
+            return "simple"
+        if self.num_functions <= 10:
+            return "moderate"
+        if self.num_functions <= 40:
+            return "complex"
+        return "very complex"
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "pipeline": self.name,
+            "functions": self.num_functions,
+            "stencils": self.num_stencils,
+            "reductions": self.num_reductions,
+            "data_dependent": self.num_data_dependent,
+            "edges": self.num_edges,
+            "depth": self.depth,
+            "structure": self.structure(),
+        }
+
+
+class _AccessCollector(IRVisitor):
+    """Collects, per callee, the set of index-expression tuples used to read it."""
+
+    def __init__(self):
+        self.accesses: Dict[str, Set[Tuple]] = {}
+        self.data_dependent = False
+
+    def visit_Call(self, node: E.Call):
+        if node.call_type in (E.CallType.HALIDE, E.CallType.IMAGE):
+            self.accesses.setdefault(node.name, set()).add(node.args)
+            # A data-dependent gather indexes one stage with the value of another.
+            for arg in node.args:
+                if _contains_data_read(arg):
+                    self.data_dependent = True
+        for a in node.args:
+            self.visit(a)
+
+
+def _contains_data_read(e: E.Expr) -> bool:
+    class _Finder(IRVisitor):
+        def __init__(self):
+            self.found = False
+
+        def visit_Call(self, node: E.Call):
+            if node.call_type in (E.CallType.HALIDE, E.CallType.IMAGE):
+                self.found = True
+            for a in node.args:
+                self.visit(a)
+
+        def visit_Load(self, node):
+            self.found = True
+
+    finder = _Finder()
+    finder.visit(e)
+    return finder.found
+
+
+def _is_stencil(func: Function) -> bool:
+    """A stage is a stencil if it reads some producer at several distinct offsets."""
+    collector = _AccessCollector()
+    for value in func.all_values():
+        collector.visit(value)
+    return any(len(patterns) > 1 for patterns in collector.accesses.values())
+
+
+def _is_data_dependent(func: Function) -> bool:
+    collector = _AccessCollector()
+    for value in func.all_values():
+        collector.visit(value)
+    return collector.data_dependent
+
+
+def analyze_pipeline(output, name: str = None) -> PipelineStats:
+    """Compute Figure 6-style statistics for the pipeline rooted at ``output``."""
+    output_function: Function = getattr(output, "function", output)
+    env = build_environment([output_function])
+
+    num_stencils = sum(1 for f in env.values() if _is_stencil(f))
+    num_reductions = sum(1 for f in env.values() if f.has_updates())
+    num_data_dependent = sum(1 for f in env.values() if _is_data_dependent(f))
+
+    edges = 0
+    graph: Dict[str, List[str]] = {}
+    for func_name, func in env.items():
+        callees = [n for n in find_direct_calls(func) if n in env]
+        graph[func_name] = callees
+        edges += len(callees)
+
+    depth_cache: Dict[str, int] = {}
+
+    def depth_of(func_name: str) -> int:
+        if func_name in depth_cache:
+            return depth_cache[func_name]
+        depth_cache[func_name] = 1  # break cycles defensively
+        callees = graph.get(func_name, [])
+        result = 1 + max((depth_of(c) for c in callees), default=0)
+        depth_cache[func_name] = result
+        return result
+
+    return PipelineStats(
+        name=name if name is not None else output_function.name,
+        num_functions=len(env),
+        num_stencils=num_stencils,
+        num_reductions=num_reductions,
+        num_data_dependent=num_data_dependent,
+        num_edges=edges,
+        depth=depth_of(output_function.name),
+    )

@@ -1,0 +1,174 @@
+"""The user-facing pipeline driver.
+
+A :class:`Pipeline` ties together an output :class:`~repro.lang.Func`, the
+compiler, and a backend: it lowers the pipeline (optionally with schedule
+overrides supplied by the autotuner), runs it through the interpreter over
+numpy buffers, and can attach instrumentation listeners (counters, cache
+simulator, cost model) to the execution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.call_graph import build_environment
+from repro.compiler.lower import LoweredPipeline, LoweringOptions, lower
+from repro.core.function import Function
+from repro.core.schedule import FuncSchedule
+from repro.ir import expr as E
+from repro.ir.visitor import IRVisitor
+from repro.runtime.counters import Counters, ExecutionListener
+from repro.runtime.executor import Executor
+
+__all__ = ["Pipeline", "RealizationReport"]
+
+
+class _ImageCollector(IRVisitor):
+    def __init__(self):
+        self.images: Dict[str, object] = {}
+
+    def visit_Call(self, node: E.Call):
+        if node.call_type == E.CallType.IMAGE and node.target is not None:
+            self.images.setdefault(node.name, node.target)
+        for a in node.args:
+            self.visit(a)
+
+
+class RealizationReport:
+    """The output of an instrumented realization: the image plus counters."""
+
+    def __init__(self, output: np.ndarray, counters: Counters,
+                 listeners: List[ExecutionListener]):
+        self.output = output
+        self.counters = counters
+        self.listeners = listeners
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RealizationReport(shape={self.output.shape}, {self.counters.summary()})"
+
+
+class Pipeline:
+    """A compiled-on-demand image processing pipeline rooted at one output Func."""
+
+    def __init__(self, output):
+        # Accept either a lang.Func or a core Function.
+        self.output_function: Function = getattr(output, "function", output)
+        self._lowered_cache: Dict[object, LoweredPipeline] = {}
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def lower(self, sizes: Optional[Sequence[int]] = None,
+              schedules: Optional[Dict[str, FuncSchedule]] = None,
+              options: Optional[LoweringOptions] = None) -> LoweredPipeline:
+        """Lower the pipeline.
+
+        With ``sizes``, the compiler specializes the loop nest for that output
+        region (all inferred bounds fold to constants); without, bounds remain
+        symbolic and are bound by the runtime.
+        """
+        output_bounds = None
+        if sizes is not None:
+            output_bounds = [(0, int(size)) for size in sizes]
+        return lower(self.output_function, schedule_overrides=schedules, options=options,
+                     output_bounds=output_bounds)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def realize(self, sizes: Sequence[int],
+                schedules: Optional[Dict[str, FuncSchedule]] = None,
+                options: Optional[LoweringOptions] = None,
+                listeners: Iterable[ExecutionListener] = (),
+                params: Optional[Dict[str, object]] = None,
+                inputs: Optional[Dict[str, np.ndarray]] = None) -> np.ndarray:
+        """Compile and run the pipeline, returning the output region as a numpy array.
+
+        ``sizes`` gives the extent of each output dimension.  ``params`` binds
+        scalar parameters by name; ``inputs`` binds image parameters by name
+        (concrete :class:`~repro.lang.Buffer` inputs are found automatically).
+        """
+        report = self.realize_with_report(sizes, schedules=schedules, options=options,
+                                          listeners=listeners, params=params, inputs=inputs)
+        return report.output
+
+    def realize_with_report(self, sizes: Sequence[int],
+                            schedules: Optional[Dict[str, FuncSchedule]] = None,
+                            options: Optional[LoweringOptions] = None,
+                            listeners: Iterable[ExecutionListener] = (),
+                            params: Optional[Dict[str, object]] = None,
+                            inputs: Optional[Dict[str, np.ndarray]] = None) -> RealizationReport:
+        """Like :meth:`realize`, but also returns execution counters and listeners."""
+        sizes = [int(s) for s in sizes]
+        lowered = self.lower(sizes=sizes, schedules=schedules, options=options)
+        output = lowered.output
+        if len(sizes) != output.dimensions():
+            raise ValueError(
+                f"output {output.name!r} has {output.dimensions()} dimensions, "
+                f"realize() was given {len(sizes)} sizes"
+            )
+
+        counters = Counters()
+        all_listeners: List[ExecutionListener] = [counters] + list(listeners)
+        executor = Executor(lowered, listeners=all_listeners)
+
+        # Bind the requested output region.
+        rounded_shape: List[int] = []
+        for dim, size in zip(output.args, sizes):
+            executor.bind(f"{output.name}.{dim}.min", 0)
+            executor.bind(f"{output.name}.{dim}.extent", size)
+            factor = output.schedule.total_split_factor(dim)
+            rounded_shape.append(int(math.ceil(size / factor) * factor))
+
+        # Bind scalar parameters.
+        for name, value in (params or {}).items():
+            executor.bind(name, value)
+
+        # Bind input images: concrete buffers referenced by the algorithm, plus
+        # any explicitly supplied arrays (for ImageParams).
+        for name, target in self._collect_images().items():
+            if inputs is not None and name in inputs:
+                executor.bind_input(name, np.asarray(inputs[name]))
+            elif hasattr(target, "array"):
+                executor.bind_input(name, target.array)
+            elif hasattr(target, "get"):
+                executor.bind_input(name, target.get().array)
+        for name, array in (inputs or {}).items():
+            if name not in executor.buffers:
+                executor.bind_input(name, np.asarray(array))
+
+        # Pre-allocate the output buffer so it survives the Allocate scope.
+        out_dtype = output.output_type.to_numpy_dtype()
+        flat_output = np.zeros(int(np.prod(rounded_shape)) if rounded_shape else 1,
+                               dtype=out_dtype)
+        executor.provide_buffer(output.name, flat_output)
+
+        executor.run()
+
+        result = flat_output.reshape(rounded_shape, order="F")
+        window = tuple(slice(0, s) for s in sizes)
+        return RealizationReport(result[window].copy(), counters, all_listeners)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _collect_images(self) -> Dict[str, object]:
+        collector = _ImageCollector()
+        env = build_environment([self.output_function])
+        for func in env.values():
+            for value in func.all_values():
+                collector.visit(value)
+        return collector.images
+
+    def functions(self) -> Dict[str, Function]:
+        """All functions reachable from the output, keyed by name."""
+        return build_environment([self.output_function])
+
+    def print_loop_nest(self, schedules: Optional[Dict[str, FuncSchedule]] = None) -> str:
+        """A human-readable rendering of the synthesized loop nest."""
+        from repro.ir.printer import pretty_print
+
+        return pretty_print(self.lower(schedules=schedules).stmt)

@@ -1,0 +1,27 @@
+"""Reference ("expert baseline") implementations in plain numpy.
+
+These play the role of the hand-written C / intrinsics / CUDA comparators of
+the paper's Figure 7: they are the correctness oracles for every schedule the
+compiler produces, and their (vectorized numpy) line counts stand in for the
+"lines expert" column.  Where a reference clamps boundaries per stage instead
+of propagating the infinite-domain semantics exactly, the corresponding tests
+compare a cropped interior region; this is noted per function.
+"""
+
+from repro.reference.blur_ref import blur_ref
+from repro.reference.unsharp_ref import unsharp_ref
+from repro.reference.histogram_ref import histogram_equalize_ref
+from repro.reference.bilateral_grid_ref import bilateral_grid_ref
+from repro.reference.camera_pipe_ref import camera_pipe_ref
+from repro.reference.interpolate_ref import interpolate_ref
+from repro.reference.local_laplacian_ref import local_laplacian_ref
+
+__all__ = [
+    "blur_ref",
+    "unsharp_ref",
+    "histogram_equalize_ref",
+    "bilateral_grid_ref",
+    "camera_pipe_ref",
+    "interpolate_ref",
+    "local_laplacian_ref",
+]

@@ -1,0 +1,99 @@
+"""Reference bilateral grid (matches repro.apps.bilateral_grid).
+
+Mirrors the DSL pipeline exactly, including the clamp-to-edge sampling used
+when grid cells near the image border gather their samples, so the comparison
+holds over the whole output (no interior cropping needed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bilateral_grid_ref"]
+
+
+def bilateral_grid_ref(image: np.ndarray, s_sigma: int = 8, r_sigma: float = 0.1) -> np.ndarray:
+    """Expert-baseline bilateral filter via the grid, over a float32 image in [0, 1]."""
+    image = np.asarray(image, dtype=np.float32)
+    width, height = image.shape
+    clamped = np.clip(image, 0.0, 1.0)
+
+    # The reconstruction reads grid cells [x/s .. x/s+1] plus a blur radius of 2
+    # along every axis, so build the grid over a correspondingly padded range.
+    pad = 3
+    grid_w = (width - 1) // s_sigma + 1 + 2 * pad + 1
+    grid_h = (height - 1) // s_sigma + 1 + 2 * pad + 1
+    num_bins = int(round(1.0 / r_sigma)) + 1
+    zpad = 3
+    grid = np.zeros((grid_w, grid_h, num_bins + 2 * zpad, 2), dtype=np.float32)
+
+    def sample(ix, iy):
+        return clamped[np.clip(ix, 0, width - 1), np.clip(iy, 0, height - 1)]
+
+    for cx in range(-pad, grid_w - pad):
+        for cy in range(-pad, grid_h - pad):
+            for rx in range(s_sigma):
+                for ry in range(s_sigma):
+                    val = sample(cx * s_sigma + rx - s_sigma // 2,
+                                 cy * s_sigma + ry - s_sigma // 2)
+                    val = np.float32(np.clip(val, 0.0, 1.0))
+                    zi = int(val * (1.0 / r_sigma) + 0.5)
+                    grid[cx + pad, cy + pad, zi + zpad, 0] += val
+                    grid[cx + pad, cy + pad, zi + zpad, 1] += 1.0
+
+    # 5-point binomial blur along each axis (matches the DSL's blurz/blurx/blury).
+    def blur_axis(data, axis):
+        blurred = np.zeros_like(data)
+        taps = [(-2, 1.0), (-1, 4.0), (0, 6.0), (1, 4.0), (2, 1.0)]
+        for offset, weight in taps:
+            shifted = np.roll(data, -offset, axis=axis)
+            # Out-of-range cells contribute zero (they are zero in the padded grid).
+            if offset > 0:
+                index = [slice(None)] * data.ndim
+                index[axis] = slice(-offset, None)
+                shifted[tuple(index)] = 0.0
+            elif offset < 0:
+                index = [slice(None)] * data.ndim
+                index[axis] = slice(0, -offset)
+                shifted[tuple(index)] = 0.0
+            blurred += np.float32(weight) * shifted
+        return blurred / np.float32(16.0)
+
+    blurred = blur_axis(blur_axis(blur_axis(grid, 2), 0), 1)
+
+    # Trilinear reconstruction at data-dependent coordinates.
+    xs = np.arange(width)[:, None]
+    ys = np.arange(height)[None, :]
+    val = np.clip(clamped, 0.0, 1.0)
+    zv = val * np.float32(1.0 / r_sigma)
+    zi = zv.astype(np.int32)
+    zf = zv - zi.astype(np.float32)
+    xf = (xs % s_sigma).astype(np.float32) / np.float32(s_sigma)
+    yf = (ys % s_sigma).astype(np.float32) / np.float32(s_sigma)
+    xi = xs // s_sigma
+    yi = ys // s_sigma
+
+    def lerp(a, b, w):
+        return a + w * (b - a)
+
+    def grid_at(gx, gy, gz, channel):
+        return blurred[gx + pad, gy + pad, gz + zpad, channel]
+
+    result = np.zeros((width, height), dtype=np.float32)
+    for channel in range(2):
+        interpolated = lerp(
+            lerp(lerp(grid_at(xi, yi, zi, channel), grid_at(xi + 1, yi, zi, channel), xf),
+                 lerp(grid_at(xi, yi + 1, zi, channel), grid_at(xi + 1, yi + 1, zi, channel), xf),
+                 yf),
+            lerp(lerp(grid_at(xi, yi, zi + 1, channel), grid_at(xi + 1, yi, zi + 1, channel), xf),
+                 lerp(grid_at(xi, yi + 1, zi + 1, channel), grid_at(xi + 1, yi + 1, zi + 1, channel), xf),
+                 yf),
+            zf,
+        )
+        if channel == 0:
+            numerator = interpolated
+        else:
+            denominator = interpolated
+    denominator = np.where(denominator == 0.0, 1.0, denominator)
+    result = numerator / denominator
+    return result.astype(np.float32)

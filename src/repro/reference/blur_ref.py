@@ -1,0 +1,23 @@
+"""Reference two-stage 3x3 box blur (matches repro.apps.blur exactly)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["blur_ref"]
+
+
+def blur_ref(image: np.ndarray) -> np.ndarray:
+    """The expert-baseline blur: horizontal then vertical 3-tap box, edge-clamped.
+
+    ``image`` has shape (width, height); the result matches the DSL pipeline
+    bit-for-bit because both use float32 accumulation and clamp-to-edge reads
+    of the *input* only.
+    """
+    image = np.asarray(image, dtype=np.float32)
+    padded = np.pad(image, ((1, 1), (1, 1)), mode="edge")
+    # blur_x(x, y) for x in [0, W), y in [-1, H+1): average over x-1, x, x+1.
+    blur_x = (padded[:-2, :] + padded[1:-1, :] + padded[2:, :]) / np.float32(3.0)
+    # blur_y(x, y): average over y-1, y, y+1 of blur_x.
+    blur_y = (blur_x[:, :-2] + blur_x[:, 1:-1] + blur_x[:, 2:]) / np.float32(3.0)
+    return blur_y

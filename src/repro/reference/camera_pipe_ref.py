@@ -1,0 +1,129 @@
+"""Reference camera pipeline (matches repro.apps.camera_pipe).
+
+A direct numpy transcription of the same stages: hot-pixel suppression,
+Bayer deinterleave, demosaic, color correction, and the gamma/contrast curve
+applied through a LUT.  Reads clamp to the image edges exactly as the DSL
+version's ``repeat_edge`` wrapper does, so outputs match over the full frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["camera_pipe_ref"]
+
+
+def _clamped_read(image: np.ndarray, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+    width, height = image.shape
+    return image[np.clip(ix, 0, width - 1), np.clip(iy, 0, height - 1)]
+
+
+def camera_pipe_ref(raw: np.ndarray, out_width: int, out_height: int,
+                    color_temp: float = 3700.0, gamma: float = 2.2,
+                    contrast: float = 50.0) -> np.ndarray:
+    """Expert-baseline raw pipeline; returns an (out_width, out_height, 3) float32 image."""
+    raw = np.asarray(raw, dtype=np.uint16)
+
+    # Hot-pixel suppression over the full-resolution raw, with clamped reads.
+    width, height = raw.shape
+    xs = np.arange(width)[:, None]
+    ys = np.arange(height)[None, :]
+    neighbor_max = np.maximum(
+        np.maximum(_clamped_read(raw, xs - 2, ys), _clamped_read(raw, xs + 2, ys)),
+        np.maximum(_clamped_read(raw, xs, ys - 2), _clamped_read(raw, xs, ys + 2)),
+    ).astype(np.int32)
+    denoised_full = np.clip(raw.astype(np.int32), 0, neighbor_max)
+
+    def denoised(ix, iy):
+        return denoised_full[np.clip(ix, 0, width - 1), np.clip(iy, 0, height - 1)]
+
+    # The half-resolution Bayer planes, over a region large enough for the output.
+    half_w = out_width // 2 + 3
+    half_h = out_height // 2 + 3
+    hx = np.arange(-1, half_w)[:, None]
+    hy = np.arange(-1, half_h)[None, :]
+
+    g_gr = denoised(2 * hx, 2 * hy)
+    r_r = denoised(2 * hx + 1, 2 * hy)
+    b_b = denoised(2 * hx, 2 * hy + 1)
+    g_gb = denoised(2 * hx + 1, 2 * hy + 1)
+
+    def plane_at(plane, ix, iy):
+        # ix, iy are half-resolution coordinates; the arrays start at -1.
+        return plane[ix + 1, iy + 1]
+
+    cx = np.arange(0, half_w - 1)[:, None]
+    cy = np.arange(0, half_h - 1)[None, :]
+
+    g_at_r = (plane_at(g_gr, cx, cy) + plane_at(g_gr, cx + 1, cy)
+              + plane_at(g_gb, cx, cy) + plane_at(g_gb, cx, cy - 1)) // 4
+    g_at_b = (plane_at(g_gb, cx, cy) + plane_at(g_gb, cx - 1, cy)
+              + plane_at(g_gr, cx, cy) + plane_at(g_gr, cx, cy + 1)) // 4
+    r_at_gr = (plane_at(r_r, cx - 1, cy) + plane_at(r_r, cx, cy)) // 2
+    b_at_gr = (plane_at(b_b, cx, cy - 1) + plane_at(b_b, cx, cy)) // 2
+    r_at_gb = (plane_at(r_r, cx, cy) + plane_at(r_r, cx, cy + 1)) // 2
+    b_at_gb = (plane_at(b_b, cx, cy) + plane_at(b_b, cx + 1, cy)) // 2
+    r_at_b = (plane_at(r_r, cx - 1, cy) + plane_at(r_r, cx, cy)
+              + plane_at(r_r, cx - 1, cy + 1) + plane_at(r_r, cx, cy + 1)) // 4
+    b_at_r = (plane_at(b_b, cx, cy - 1) + plane_at(b_b, cx, cy)
+              + plane_at(b_b, cx + 1, cy - 1) + plane_at(b_b, cx + 1, cy)) // 4
+
+    g_gr_c = plane_at(g_gr, cx, cy)
+    g_gb_c = plane_at(g_gb, cx, cy)
+    r_r_c = plane_at(r_r, cx, cy)
+    b_b_c = plane_at(b_b, cx, cy)
+
+    # Reassemble the full-resolution planes.
+    fx = np.arange(out_width)[:, None]
+    fy = np.arange(out_height)[None, :]
+    half_x = fx // 2
+    half_y = fy // 2
+    is_red_col = (fx % 2) == 1
+    is_blue_row = (fy % 2) == 1
+
+    def gather(plane):
+        return plane[half_x, half_y]
+
+    demosaic_g = np.where(
+        is_red_col & ~is_blue_row, gather(g_at_r),
+        np.where(~is_red_col & is_blue_row, gather(g_at_b),
+                 np.where(~is_red_col & ~is_blue_row, gather(g_gr_c), gather(g_gb_c))),
+    )
+    demosaic_r = np.where(
+        is_red_col & ~is_blue_row, gather(r_r_c),
+        np.where(~is_red_col & ~is_blue_row, gather(r_at_gr),
+                 np.where(is_red_col & is_blue_row, gather(r_at_gb), gather(r_at_b))),
+    )
+    demosaic_b = np.where(
+        ~is_red_col & is_blue_row, gather(b_b_c),
+        np.where(~is_red_col & ~is_blue_row, gather(b_at_gr),
+                 np.where(is_red_col & is_blue_row, gather(b_at_gb), gather(b_at_r))),
+    )
+
+    # Color correction.
+    alpha = (color_temp - 3200.0) / (7000.0 - 3200.0)
+
+    def blend(a, b):
+        return np.float32(a * alpha + b * (1.0 - alpha))
+
+    matrix = np.array([
+        [blend(1.6697, 2.2997), blend(-0.2693, -0.4478), blend(-0.4004, 0.1706), blend(-42.4346, -39.0923)],
+        [blend(-0.3576, -0.3826), blend(1.0615, 1.5906), blend(1.5949, -0.2080), blend(-37.1158, -25.4311)],
+        [blend(-0.2175, -0.0888), blend(-1.8751, -0.7344), blend(6.9640, 2.2832), blend(-26.6970, -20.0826)],
+    ], dtype=np.float32)
+
+    rgb = np.stack([demosaic_r, demosaic_g, demosaic_b]).astype(np.float32)
+    corrected = np.einsum("cd,dxy->cxy", matrix[:, :3], rgb) + matrix[:, 3][:, None, None]
+
+    # Gamma / contrast curve through a LUT.
+    lut_size = 1024
+    value = np.arange(lut_size, dtype=np.float32) / np.float32(lut_size - 1)
+    gamma_curve = np.power(value, np.float32(1.0 / gamma))
+    s_curve = gamma_curve * np.float32(1.0 + contrast / 100.0) - np.float32(contrast / 200.0)
+    lut = np.clip(s_curve * np.float32(255.0), 0.0, 255.0).astype(np.float32)
+
+    scaled = np.clip(corrected * np.float32((lut_size - 1) / 1023.0), 0.0,
+                     np.float32(lut_size - 1))
+    processed = lut[scaled.astype(np.int32)]
+    # (c, x, y) -> (x, y, c)
+    return np.transpose(processed, (1, 2, 0)).astype(np.float32)

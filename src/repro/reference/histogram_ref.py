@@ -1,0 +1,17 @@
+"""Reference histogram equalization (matches repro.apps.histogram_equalize)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["histogram_equalize_ref"]
+
+
+def histogram_equalize_ref(image: np.ndarray, bins: int = 256) -> np.ndarray:
+    """Expert-baseline histogram equalization over a uint8 image of shape (width, height)."""
+    image = np.asarray(image, dtype=np.uint8)
+    histogram = np.bincount(image.ravel(), minlength=bins).astype(np.int64)
+    cdf = np.cumsum(histogram)
+    pixels = np.float32(image.size)
+    remapped = cdf[image.astype(np.int64)].astype(np.float32) * (np.float32(255.0) / pixels)
+    return remapped.astype(np.float32)

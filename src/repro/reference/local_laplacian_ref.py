@@ -1,0 +1,129 @@
+"""Reference local Laplacian filter (matches repro.apps.local_laplacian).
+
+The reference mirrors the DSL pipeline stage by stage with clamp-to-edge reads
+at each pyramid level, so it agrees with the pipeline everywhere except a
+border of :func:`local_laplacian_margin` pixels, where the infinite-domain and
+per-level-clamped boundary treatments diverge.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["local_laplacian_ref", "local_laplacian_margin"]
+
+
+def local_laplacian_margin(levels: int = 4) -> int:
+    """The output border (in pixels) that may differ from the DSL pipeline."""
+    return 3 * 2 ** levels
+
+
+def _clamped(plane: np.ndarray, ix, iy):
+    return plane[np.clip(ix, 0, plane.shape[0] - 1), np.clip(iy, 0, plane.shape[1] - 1)]
+
+
+def _downsample(plane: np.ndarray) -> np.ndarray:
+    """[1 3 3 1]/8 separable downsample (matches the DSL's DOWN stage)."""
+    w = (plane.shape[0] + 1) // 2
+    h = (plane.shape[1] + 1) // 2
+    xs = np.arange(w)[:, None]
+    ys_full = np.arange(plane.shape[1])[None, :]
+    downx = (
+        _clamped(plane, 2 * xs - 1, ys_full) + 3.0 * _clamped(plane, 2 * xs, ys_full)
+        + 3.0 * _clamped(plane, 2 * xs + 1, ys_full) + _clamped(plane, 2 * xs + 2, ys_full)
+    ) / 8.0
+
+    def clamped_dx(ix, iy):
+        return downx[np.clip(ix, 0, downx.shape[0] - 1), np.clip(iy, 0, downx.shape[1] - 1)]
+
+    xs2 = np.arange(w)[:, None]
+    ys = np.arange(h)[None, :]
+    downy = (
+        clamped_dx(xs2, 2 * ys - 1) + 3.0 * clamped_dx(xs2, 2 * ys)
+        + 3.0 * clamped_dx(xs2, 2 * ys + 1) + clamped_dx(xs2, 2 * ys + 2)
+    ) / 8.0
+    return downy.astype(np.float32)
+
+
+def _upsample(plane: np.ndarray, out_w: int, out_h: int) -> np.ndarray:
+    """Linear 2x upsample (matches the DSL's UP stage)."""
+    xs = np.arange(out_w)[:, None]
+    ys_full = np.arange(plane.shape[1])[None, :]
+    upx = 0.25 * _clamped(plane, xs // 2 - 1 + 2 * (xs % 2), ys_full) + \
+        0.75 * _clamped(plane, xs // 2, ys_full)
+
+    def clamped_ux(ix, iy):
+        return upx[np.clip(ix, 0, upx.shape[0] - 1), np.clip(iy, 0, upx.shape[1] - 1)]
+
+    xs2 = np.arange(out_w)[:, None]
+    ys = np.arange(out_h)[None, :]
+    upy = 0.25 * clamped_ux(xs2, ys // 2 - 1 + 2 * (ys % 2)) + 0.75 * clamped_ux(xs2, ys // 2)
+    return upy.astype(np.float32)
+
+
+def local_laplacian_ref(image: np.ndarray, levels: int = 4, intensity_levels: int = 8,
+                        alpha: float = 1.0, beta: float = 1.0) -> np.ndarray:
+    """Expert-baseline local Laplacian filter over a float32 grayscale image in [0, 1]."""
+    image = np.asarray(image, dtype=np.float32)
+    gray = np.clip(image, 0.0, 1.0)
+    width, height = gray.shape
+    lut_samples = 256 * 8
+
+    # Remapping LUT.
+    idx = np.arange(lut_samples, dtype=np.float32)
+    fx = (idx - lut_samples // 2) / 256.0
+    remap_lut = (alpha * fx * np.exp(-fx * fx / 2.0)).astype(np.float32)
+
+    # Remapped Gaussian pyramids (k = intensity level).
+    K = intensity_levels
+    g_pyramid: List[np.ndarray] = []
+    level_values = (np.arange(K, dtype=np.float32) / np.float32(max(K - 1, 1)))
+    g0 = np.zeros((width, height, K), dtype=np.float32)
+    for k in range(K):
+        lut_index = np.clip(
+            (gray * np.float32(256 * (K - 1)) + 0.5).astype(np.int32) - 256 * k + lut_samples // 2,
+            0, lut_samples - 1,
+        )
+        g0[:, :, k] = beta * (gray - level_values[k]) + level_values[k] + remap_lut[lut_index]
+    g_pyramid.append(g0)
+    for _j in range(1, levels):
+        prev = g_pyramid[-1]
+        down = np.stack([_downsample(prev[:, :, k]) for k in range(K)], axis=2)
+        g_pyramid.append(down)
+
+    # The input's own Gaussian pyramid.
+    in_g_pyramid: List[np.ndarray] = [gray]
+    for _j in range(1, levels):
+        in_g_pyramid.append(_downsample(in_g_pyramid[-1]))
+
+    # Laplacian pyramid of the remapped copies.
+    l_pyramid: List[np.ndarray] = [None] * levels
+    l_pyramid[levels - 1] = g_pyramid[levels - 1]
+    for j in range(levels - 2, -1, -1):
+        finer = g_pyramid[j]
+        up = np.stack(
+            [_upsample(g_pyramid[j + 1][:, :, k], finer.shape[0], finer.shape[1])
+             for k in range(K)],
+            axis=2,
+        )
+        l_pyramid[j] = finer - up
+
+    # Output Laplacian pyramid via data-dependent interpolation between levels.
+    out_l_pyramid: List[np.ndarray] = []
+    for j in range(levels):
+        level = in_g_pyramid[j] * np.float32(K - 1)
+        li = np.clip(level.astype(np.int32), 0, K - 2)
+        lf = level - li.astype(np.float32)
+        gathered_lo = np.take_along_axis(l_pyramid[j], li[:, :, None], axis=2)[:, :, 0]
+        gathered_hi = np.take_along_axis(l_pyramid[j], (li + 1)[:, :, None], axis=2)[:, :, 0]
+        out_l_pyramid.append(((1.0 - lf) * gathered_lo + lf * gathered_hi).astype(np.float32))
+
+    # Collapse.
+    out_g = out_l_pyramid[levels - 1]
+    for j in range(levels - 2, -1, -1):
+        up = _upsample(out_g, out_l_pyramid[j].shape[0], out_l_pyramid[j].shape[1])
+        out_g = up + out_l_pyramid[j]
+
+    return np.clip(out_g, 0.0, 1.0).astype(np.float32)

@@ -1,0 +1,28 @@
+"""Reference unsharp mask (matches repro.apps.unsharp)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["unsharp_ref"]
+
+_KERNEL = np.array([0.0625, 0.25, 0.375, 0.25, 0.0625], dtype=np.float32)
+
+
+def unsharp_ref(image: np.ndarray, strength: float = 1.5) -> np.ndarray:
+    """Expert-baseline unsharp masking: separable 5-tap blur and a point-wise combine."""
+    image = np.asarray(image, dtype=np.float32)
+    padded = np.pad(image, ((2, 2), (2, 2)), mode="edge")
+
+    width, height = image.shape
+    blur_x_core = np.zeros((width, height + 4), dtype=np.float32)
+    for tap, weight in enumerate(_KERNEL):
+        shift = tap - 2
+        blur_x_core += np.float32(weight) * padded[2 + shift:2 + shift + width, :]
+
+    blur_y = np.zeros((width, height), dtype=np.float32)
+    for tap, weight in enumerate(_KERNEL):
+        shift = tap - 2
+        blur_y += np.float32(weight) * blur_x_core[:, 2 + shift:2 + shift + height]
+
+    return image + np.float32(strength) * (image - blur_y)

@@ -1,0 +1,8 @@
+"""Runtime backends: the IR interpreter, the Python code generator, and
+execution instrumentation used by the machine model.
+"""
+
+from repro.runtime.counters import Counters, ExecutionListener
+from repro.runtime.executor import Executor
+
+__all__ = ["Executor", "Counters", "ExecutionListener"]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_image(rng):
+    """A small float32 image in [0, 1], shape (width=24, height=16)."""
+    return rng.random((24, 16)).astype(np.float32)
+
+
+@pytest.fixture
+def tiny_image(rng):
+    """A tiny float32 image, shape (width=12, height=8)."""
+    return rng.random((12, 8)).astype(np.float32)
+
+
+@pytest.fixture
+def uint8_image(rng):
+    """A small uint8 image, shape (width=20, height=12)."""
+    return (rng.random((20, 12)) * 256).astype(np.uint8)
+
+
+def assert_images_close(actual: np.ndarray, expected: np.ndarray,
+                        tolerance: float = 1e-4) -> None:
+    """Assert two images match within a tolerance, with a helpful message."""
+    assert actual.shape == expected.shape, (
+        f"shape mismatch: {actual.shape} vs {expected.shape}"
+    )
+    difference = np.abs(np.asarray(actual, dtype=np.float64)
+                        - np.asarray(expected, dtype=np.float64))
+    assert difference.max() <= tolerance, (
+        f"max difference {difference.max()} exceeds tolerance {tolerance}"
+    )

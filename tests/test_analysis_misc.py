@@ -1,0 +1,121 @@
+"""Tests for the supporting analyses: linear forms, monotonicity, scopes, call graph."""
+
+import pytest
+
+from repro.analysis.call_graph import CallGraphError, build_environment, realization_order
+from repro.analysis.linear import coefficient_of, constant_difference, to_linear
+from repro.analysis.monotonic import Monotonic, is_monotonic
+from repro.analysis.scope import Scope
+from repro.ir import expr as E
+from repro.ir import op
+from repro.lang import Func, Var
+
+
+class TestLinear:
+    def test_to_linear_simple(self):
+        x = E.Variable("x")
+        linear = to_linear(x * 3 + 5)
+        assert linear.coefficients == {"x": 3}
+        assert linear.constant == 5
+
+    def test_to_linear_two_vars(self):
+        x, y = E.Variable("x"), E.Variable("y")
+        linear = to_linear(x * 2 - y + 1)
+        assert linear.coefficients["x"] == 2
+        assert linear.coefficients["y"] == -1
+
+    def test_non_affine_returns_none(self):
+        x, y = E.Variable("x"), E.Variable("y")
+        assert to_linear(x * y) is None
+
+    def test_constant_difference(self):
+        x = E.Variable("x")
+        assert constant_difference(x + 5, x + 2) == 3
+        assert constant_difference(x + 5, x * 2) is None
+
+    def test_coefficient_of(self):
+        x = E.Variable("x")
+        assert coefficient_of(x * 4 + 7, "x") == 4
+        assert coefficient_of(x * 4 + 7, "y") == 0
+
+
+class TestMonotonic:
+    def test_increasing(self):
+        x = E.Variable("x")
+        assert is_monotonic(x + 3, "x") == Monotonic.INCREASING
+        assert is_monotonic(x * 2, "x") == Monotonic.INCREASING
+
+    def test_decreasing(self):
+        x = E.Variable("x")
+        assert is_monotonic(op.as_expr(10) - x, "x") == Monotonic.DECREASING
+        assert is_monotonic(x * -1, "x") == Monotonic.DECREASING
+
+    def test_constant(self):
+        y = E.Variable("y")
+        assert is_monotonic(y + 3, "x") == Monotonic.CONSTANT
+
+    def test_min_of_increasing(self):
+        x = E.Variable("x")
+        assert is_monotonic(op.min_(x, x + 2), "x") == Monotonic.INCREASING
+
+    def test_unknown_for_data_dependent(self):
+        x = E.Variable("x")
+        load = E.Load(op.as_expr(0).type, "buf", x)
+        assert is_monotonic(load, "x") == Monotonic.UNKNOWN
+
+
+class TestScope:
+    def test_push_pop(self):
+        scope = Scope()
+        scope.push("x", 1)
+        scope.push("x", 2)
+        assert scope["x"] == 2
+        scope.pop("x")
+        assert scope["x"] == 1
+
+    def test_bound_context_manager(self):
+        scope = Scope()
+        with scope.bound("x", 5):
+            assert scope["x"] == 5
+        assert not scope.contains("x")
+
+    def test_parent_lookup(self):
+        parent = Scope()
+        parent.push("x", 1)
+        child = Scope(parent)
+        assert child["x"] == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            Scope()["missing"]
+
+
+class TestCallGraph:
+    def _chain(self):
+        x, y = Var("x"), Var("y")
+        a, b, c = Func("cg_a"), Func("cg_b"), Func("cg_c")
+        a[x, y] = x + y
+        b[x, y] = a[x, y] * 2
+        c[x, y] = b[x, y] + a[x, y]
+        return a, b, c
+
+    def test_environment(self):
+        a, b, c = self._chain()
+        env = build_environment([c.function])
+        assert set(env) == {"cg_a", "cg_b", "cg_c"}
+
+    def test_realization_order(self):
+        a, b, c = self._chain()
+        env = build_environment([c.function])
+        order = realization_order([c.function], env)
+        assert order.index("cg_a") < order.index("cg_b") < order.index("cg_c")
+
+    def test_duplicate_names_rejected(self):
+        x, y = Var("x"), Var("y")
+        a1, a2 = Func("cg_dup"), Func("cg_dup")
+        a1[x, y] = x
+        a2[x, y] = y
+        out = Func("cg_out")
+        out[x, y] = a1[x, y] + a2[x, y]
+        with pytest.raises(CallGraphError):
+            build_environment([out.function])

@@ -1,0 +1,128 @@
+"""Tests for the genetic autotuner (Section 5)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.call_graph import build_environment
+from repro.apps import make_blur
+from repro.autotuner import (
+    Autotuner,
+    CostModelEvaluator,
+    TunerConfig,
+    crossover_genomes,
+    mutate_genome,
+    random_genome,
+    reasonable_genome,
+)
+from repro.autotuner.random_schedule import breadth_first_genome
+from repro.autotuner.search_space import FunctionGene, ScheduleGenome
+from repro.machine import SMALL_CACHE_CPU
+from repro.pipeline import Pipeline
+
+from conftest import assert_images_close
+
+
+@pytest.fixture(scope="module")
+def blur_setup():
+    image = np.random.default_rng(5).random((48, 32)).astype(np.float32)
+    app = make_blur(image)
+    pipeline = app.pipeline()
+    env = build_environment([pipeline.output_function])
+    consumers = {"blur_x": ["blur_y"], "input_clamped": ["blur_x"], "blur_y": []}
+    return image, app, pipeline, env, consumers
+
+
+class TestGenomes:
+    def test_breadth_first_genome_is_valid(self, blur_setup):
+        _, _, pipeline, env, _ = blur_setup
+        genome = breadth_first_genome(env)
+        schedules = genome.to_schedules(env, "blur_y")
+        assert schedules["blur_x"].compute_level.is_root()
+
+    def test_random_genomes_differ(self, blur_setup):
+        _, _, _, env, consumers = blur_setup
+        rng = random.Random(1)
+        genomes = [random_genome(env, consumers, "blur_y", rng).describe() for _ in range(5)]
+        assert len(set(genomes)) > 1
+
+    def test_reasonable_genome_inlines_pointwise(self, blur_setup):
+        _, _, _, env, consumers = blur_setup
+        rng = random.Random(2)
+        genome = reasonable_genome(env, consumers, "blur_y", rng)
+        assert genome.genes["input_clamped"].call_schedule == ("inline",)
+
+    def test_mutation_changes_something_eventually(self, blur_setup):
+        _, _, _, env, consumers = blur_setup
+        rng = random.Random(3)
+        genome = breadth_first_genome(env)
+        mutated = genome
+        for _ in range(10):
+            mutated = mutate_genome(mutated, env, consumers, "blur_y", rng)
+        assert mutated.describe() != genome.describe()
+
+    def test_crossover_mixes_parents(self, blur_setup):
+        _, _, _, env, _ = blur_setup
+        rng = random.Random(4)
+        parent_a = ScheduleGenome({n: FunctionGene(("root",), []) for n in env})
+        parent_b = ScheduleGenome({n: FunctionGene(("inline",), []) for n in env})
+        seen = set()
+        for _ in range(20):
+            child = crossover_genomes(parent_a, parent_b, rng)
+            seen.add(tuple(child.genes[n].call_schedule[0] for n in sorted(env)))
+        assert len(seen) > 1
+
+
+class TestEvaluator:
+    def test_invalid_schedule_gets_infinite_fitness(self, blur_setup):
+        _, _, pipeline, env, _ = blur_setup
+        evaluator = CostModelEvaluator(pipeline, [24, 16], profile=SMALL_CACHE_CPU)
+        genome = breadth_first_genome(env)
+        genome.genes["blur_x"] = FunctionGene(("at", "blur_y", "not_a_dim"), [])
+        schedules = genome.to_schedules(env, "blur_y")
+        result = evaluator.evaluate_schedules(schedules)
+        assert not result.valid
+
+    def test_valid_schedule_scores_finite(self, blur_setup):
+        _, _, pipeline, env, _ = blur_setup
+        evaluator = CostModelEvaluator(pipeline, [24, 16], profile=SMALL_CACHE_CPU)
+        schedules = breadth_first_genome(env).to_schedules(env, "blur_y")
+        result = evaluator.evaluate_schedules(schedules)
+        assert result.valid and result.fitness > 0
+
+
+class TestAutotuner:
+    def test_tuner_improves_on_breadth_first(self, blur_setup):
+        image, app, pipeline, env, _ = blur_setup
+        evaluator = CostModelEvaluator(pipeline, [32, 24], profile=SMALL_CACHE_CPU)
+        config = TunerConfig(population_size=8, generations=3, seed=7)
+        tuner = Autotuner(pipeline, evaluator, config)
+        result = tuner.run()
+
+        breadth_first_fitness = evaluator.evaluate_schedules(
+            breadth_first_genome(env).to_schedules(env, "blur_y")).fitness
+        assert result.best_fitness <= breadth_first_fitness
+        assert len(result.history) == config.generations + 1
+        # Convergence curve is monotonically non-increasing (elitism).
+        assert all(later <= earlier + 1e-9
+                   for earlier, later in zip(result.history, result.history[1:]))
+
+    def test_best_schedule_is_correct(self, blur_setup):
+        image, app, pipeline, env, _ = blur_setup
+        from repro.reference import blur_ref
+
+        evaluator = CostModelEvaluator(pipeline, [32, 24], profile=SMALL_CACHE_CPU)
+        config = TunerConfig(population_size=6, generations=2, seed=11)
+        result = Autotuner(pipeline, evaluator, config).run()
+        schedules = result.best_schedules(pipeline)
+        output = pipeline.realize([48, 32], schedules=schedules)
+        assert_images_close(output, blur_ref(image))
+
+    def test_counters_track_invalid_candidates(self, blur_setup):
+        _, _, pipeline, env, _ = blur_setup
+        evaluator = CostModelEvaluator(pipeline, [24, 16], profile=SMALL_CACHE_CPU)
+        config = TunerConfig(population_size=6, generations=1, seed=13)
+        tuner = Autotuner(pipeline, evaluator, config)
+        result = tuner.run()
+        assert result.evaluations >= config.population_size

@@ -1,0 +1,172 @@
+"""Unit tests for individual compiler passes: vectorize, unroll, sliding window,
+storage folding, flattening."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.unroll import UnrollError, unroll_loops
+from repro.compiler.vectorize import VectorizeError, vectorize_loops
+from repro.ir import expr as E
+from repro.ir import op
+from repro.ir import stmt as S
+from repro.ir.visitor import IRVisitor
+from repro.lang import Buffer, Func, Var, repeat_edge
+from repro.pipeline import Pipeline
+
+from conftest import assert_images_close
+
+
+class TestUnrollPass:
+    def _loop(self, extent, for_type=S.ForType.UNROLLED):
+        body = S.Store("buf", E.Variable("i") * 2, E.Variable("i"))
+        return S.For("i", op.as_expr(0), op.as_expr(extent), for_type, body)
+
+    def test_unroll_replicates_body(self):
+        result = unroll_loops(self._loop(3))
+        assert isinstance(result, S.Block)
+        assert len(result.stmts) == 3
+        assert op.const_value(result.stmts[2].index) == 2
+
+    def test_unroll_requires_constant_extent(self):
+        body = S.Store("buf", op.as_expr(1), E.Variable("i"))
+        loop = S.For("i", op.as_expr(0), E.Variable("n"), S.ForType.UNROLLED, body)
+        with pytest.raises(UnrollError):
+            unroll_loops(loop)
+
+    def test_serial_loops_untouched(self):
+        loop = self._loop(3, S.ForType.SERIAL)
+        assert unroll_loops(loop) is loop
+
+
+class TestVectorizePass:
+    def test_vector_loop_becomes_ramp(self):
+        body = S.Store("buf", E.Variable("i") + 10, E.Variable("i"))
+        loop = S.For("i", op.as_expr(0), op.as_expr(4), S.ForType.VECTORIZED, body)
+        result = vectorize_loops(loop)
+        assert isinstance(result, S.Store)
+        assert isinstance(result.index, E.Ramp)
+        assert result.value.type.lanes == 4
+
+    def test_scalars_broadcast(self):
+        body = S.Store("buf", E.Variable("j") * 2, E.Variable("i"))
+        loop = S.For("i", op.as_expr(0), op.as_expr(4), S.ForType.VECTORIZED, body)
+        result = vectorize_loops(loop)
+        # The value does not involve the vector index and stays scalar; the
+        # store index becomes the ramp.
+        assert result.index.type.lanes == 4
+
+    def test_nonconstant_extent_rejected(self):
+        body = S.Store("buf", op.as_expr(0), E.Variable("i"))
+        loop = S.For("i", op.as_expr(0), E.Variable("n"), S.ForType.VECTORIZED, body)
+        with pytest.raises(VectorizeError):
+            vectorize_loops(loop)
+
+    def test_load_widened(self):
+        load = E.Load(op.as_expr(0.5).type, "src", E.Variable("i"))
+        body = S.Store("dst", load, E.Variable("i"))
+        loop = S.For("i", op.as_expr(0), op.as_expr(8), S.ForType.VECTORIZED, body)
+        result = vectorize_loops(loop)
+        assert result.value.type.lanes == 8
+
+
+class TestSlidingWindowAndFolding:
+    def _pipeline(self, image):
+        buf = Buffer(image, name="sw_in")
+        clamped = repeat_edge(buf, name="sw_clamped")
+        x, y = Var("x"), Var("y")
+        producer, consumer = Func("sw_producer"), Func("sw_consumer")
+        producer[x, y] = clamped[x, y - 1] + clamped[x, y + 1]
+        consumer[x, y] = producer[x, y - 1] + producer[x, y] + producer[x, y + 1]
+        return producer, consumer
+
+    def test_sliding_window_shrinks_computation(self, small_image):
+        from repro.runtime.counters import Counters
+
+        producer, consumer = self._pipeline(small_image)
+        producer.compute_root()
+        breadth_first = Pipeline(consumer).realize_with_report([24, 16])
+
+        producer2, consumer2 = self._pipeline(small_image)
+        producer2.store_root().compute_at(consumer2, Var("y"))
+        sliding = Pipeline(consumer2).realize_with_report([24, 16])
+
+        assert np.allclose(breadth_first.output, sliding.output)
+        # Sliding must not amplify work: the producer is still computed ~once per point.
+        assert sliding.counters.arith_ops <= breadth_first.counters.arith_ops * 1.3
+
+    def test_sliding_window_without_store_separation_is_noop(self, small_image):
+        producer, consumer = self._pipeline(small_image)
+        producer.compute_at(consumer, Var("y"))
+        lowered = Pipeline(consumer).lower()
+        assert "sw_producer" not in lowered.slides
+
+    def test_storage_folding_reduces_footprint(self, small_image):
+        from repro.runtime.counters import Counters
+
+        producer, consumer = self._pipeline(small_image)
+        producer.compute_root()
+        report_root = Pipeline(consumer).realize_with_report([24, 16])
+
+        producer2, consumer2 = self._pipeline(small_image)
+        producer2.store_root().compute_at(consumer2, Var("y"))
+        report_fold = Pipeline(consumer2).realize_with_report([24, 16])
+
+        assert report_fold.counters.peak_allocated_bytes < \
+            report_root.counters.peak_allocated_bytes
+
+    def test_folding_disabled_keeps_full_allocation(self, small_image):
+        from repro.compiler import LoweringOptions
+
+        producer, consumer = self._pipeline(small_image)
+        producer.store_root().compute_at(consumer, Var("y"))
+        lowered = Pipeline(consumer).lower(
+            options=LoweringOptions(storage_folding=False))
+        assert lowered.folds == {}
+
+
+class TestFlattening:
+    def test_no_realize_or_provide_survive(self, tiny_image):
+        buf = Buffer(tiny_image, name="fl_in")
+        x, y = Var("x"), Var("y")
+        producer, consumer = Func("fl_producer"), Func("fl_consumer")
+        producer[x, y] = buf[x, y] * 2.0
+        consumer[x, y] = producer[x, y] + 1.0
+        producer.compute_root()
+        lowered = Pipeline(consumer).lower()
+
+        class _Checker(IRVisitor):
+            found = False
+
+            def visit_Realize(self, node):
+                self.found = True
+
+            def visit_Provide(self, node):
+                self.found = True
+
+        checker = _Checker()
+        checker.visit(lowered.stmt)
+        assert not checker.found
+
+    def test_innermost_stride_is_one(self, tiny_image):
+        buf = Buffer(tiny_image, name="fl2_in")
+        x, y = Var("x"), Var("y")
+        f = Func("fl2_f")
+        f[x, y] = buf[x, y]
+        lowered = Pipeline(f).lower()
+        layout = lowered.layouts["fl2_f"]
+        assert op.const_value(layout.strides[0]) in (1, None) or True  # symbolic strides
+        # The stride lets define stride.0 = 1.
+        from repro.compiler.simplify import used_variables
+
+        class _Lets(IRVisitor):
+            def __init__(self):
+                self.values = {}
+
+            def visit_LetStmt(self, node):
+                self.values[node.name] = node.value
+                self.visit(node.body)
+
+        lets = _Lets()
+        lets.visit(lowered.stmt)
+        stride0 = lets.values.get("fl2_f.stride.0")
+        assert stride0 is not None and op.const_value(stride0) == 1

@@ -1,0 +1,171 @@
+"""Tests for interval analysis (the core of bounds inference)."""
+
+import pytest
+
+from repro.analysis.interval import (
+    Interval,
+    bounds_of_expr_in_scope,
+    interval_intersection,
+    interval_union,
+)
+from repro.analysis.scope import Scope
+from repro.ir import expr as E
+from repro.ir import op
+from repro.types import Float, Int, UInt
+
+
+def scope_with(**bounds):
+    scope = Scope()
+    for name, (lo, hi) in bounds.items():
+        scope.push(name, Interval(op.as_expr(lo), op.as_expr(hi)))
+    return scope
+
+
+def as_ints(interval):
+    return op.const_value(interval.min), op.const_value(interval.max)
+
+
+class TestBasics:
+    def test_constant(self):
+        interval = bounds_of_expr_in_scope(op.as_expr(5), Scope())
+        assert as_ints(interval) == (5, 5)
+
+    def test_unbound_variable_is_single_point(self):
+        x = E.Variable("x")
+        interval = bounds_of_expr_in_scope(x, Scope())
+        assert interval.min == x and interval.max == x
+
+    def test_bound_variable(self):
+        interval = bounds_of_expr_in_scope(E.Variable("x"), scope_with(x=(0, 9)))
+        assert as_ints(interval) == (0, 9)
+
+
+class TestArithmetic:
+    def test_add(self):
+        interval = bounds_of_expr_in_scope(E.Variable("x") + 3, scope_with(x=(0, 9)))
+        assert as_ints(interval) == (3, 12)
+
+    def test_sub_flips(self):
+        e = op.as_expr(10) - E.Variable("x")
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(0, 9)))
+        assert as_ints(interval) == (1, 10)
+
+    def test_mul_positive_constant(self):
+        interval = bounds_of_expr_in_scope(E.Variable("x") * 2, scope_with(x=(1, 5)))
+        assert as_ints(interval) == (2, 10)
+
+    def test_mul_negative_constant(self):
+        interval = bounds_of_expr_in_scope(E.Variable("x") * -2, scope_with(x=(1, 5)))
+        assert as_ints(interval) == (-10, -2)
+
+    def test_mul_two_intervals(self):
+        e = E.Variable("x") * E.Variable("y")
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(-2, 3), y=(4, 5)))
+        assert as_ints(interval) == (-10, 15)
+
+    def test_div_positive_constant(self):
+        interval = bounds_of_expr_in_scope(E.Variable("x") / 2, scope_with(x=(0, 9)))
+        assert as_ints(interval) == (0, 4)
+
+    def test_mod_constant(self):
+        interval = bounds_of_expr_in_scope(E.Variable("x") % 8, scope_with(x=(0, 100)))
+        assert as_ints(interval) == (0, 7)
+
+
+class TestMinMaxSelect:
+    def test_min(self):
+        e = op.min_(E.Variable("x"), 4)
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(0, 9)))
+        assert as_ints(interval) == (0, 4)
+
+    def test_max(self):
+        e = op.max_(E.Variable("x"), 4)
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(0, 9)))
+        assert as_ints(interval) == (4, 9)
+
+    def test_clamp_declares_bounds(self):
+        # The paper's rationale: clamp makes otherwise-unbounded values analyzable.
+        load = E.Load(Float(32), "buf", E.Variable("i"))
+        e = op.clamp(load, 0.0, 1.0)
+        interval = bounds_of_expr_in_scope(e, Scope())
+        assert as_ints(interval) == (0.0, 1.0)
+
+    def test_select_unions_branches(self):
+        e = op.make_select(E.Variable("c", type=None) if False else E.Variable("c"),
+                           E.Variable("x"), E.Variable("y"))
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(0, 3), y=(10, 20)))
+        assert as_ints(interval) == (0, 20)
+
+    def test_comparison_is_zero_one(self):
+        interval = bounds_of_expr_in_scope(E.Variable("x") < 3, Scope())
+        assert as_ints(interval) == (0, 1)
+
+
+class TestDataDependent:
+    def test_uint8_load_bounded_by_type(self):
+        load = E.Load(UInt(8), "img", E.Variable("i"))
+        interval = bounds_of_expr_in_scope(load, Scope())
+        assert as_ints(interval) == (0, 255)
+
+    def test_float_load_unbounded(self):
+        load = E.Load(Float(32), "img", E.Variable("i"))
+        interval = bounds_of_expr_in_scope(load, Scope())
+        assert not interval.is_bounded()
+
+    def test_uint8_image_call_bounded(self):
+        call = E.Call(UInt(8), "img", [E.Variable("x")], E.CallType.IMAGE)
+        interval = bounds_of_expr_in_scope(call, Scope())
+        assert as_ints(interval) == (0, 255)
+
+    def test_cast_of_unbounded_small_int(self):
+        load = E.Load(Float(32), "img", E.Variable("i"))
+        interval = bounds_of_expr_in_scope(op.cast(UInt(8), load), Scope())
+        assert as_ints(interval) == (0, 255)
+
+
+class TestLetAndVectors:
+    def test_let(self):
+        e = E.Let("t", E.Variable("x") + 1, E.Variable("t") * 2)
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(0, 4)))
+        assert as_ints(interval) == (2, 10)
+
+    def test_ramp(self):
+        e = E.Ramp(E.Variable("x"), op.as_expr(1), 4)
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(0, 10)))
+        assert as_ints(interval) == (0, 13)
+
+    def test_broadcast(self):
+        e = E.Broadcast(E.Variable("x"), 8)
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(2, 3)))
+        assert as_ints(interval) == (2, 3)
+
+
+class TestUnionIntersection:
+    def test_union(self):
+        a = Interval.from_const(0, 5)
+        b = Interval.from_const(3, 9)
+        assert as_ints(interval_union(a, b)) == (0, 9)
+
+    def test_union_with_unbounded(self):
+        a = Interval.from_const(0, 5)
+        b = Interval(op.as_expr(3), None)
+        union = interval_union(a, b)
+        assert union.max is None
+        assert op.const_value(union.min) == 0
+
+    def test_intersection(self):
+        a = Interval.from_const(0, 5)
+        b = Interval.from_const(3, 9)
+        assert as_ints(interval_intersection(a, b)) == (3, 5)
+
+    def test_single_point(self):
+        assert Interval.single_point(op.as_expr(4)).is_single_point()
+
+
+class TestSymbolicBounds:
+    def test_symbolic_result(self):
+        # Bounds over a free outer variable stay symbolic (used as a preamble).
+        e = E.Variable("y") + E.Variable("x")
+        interval = bounds_of_expr_in_scope(e, scope_with(x=(-1, 1)))
+        assert interval.min == E.Variable("y") + (-1)
+        assert interval.max == E.Variable("y") + 1

@@ -1,0 +1,135 @@
+"""Tests for IR infrastructure: printer, visitor, mutator, statement equality."""
+
+import pytest
+
+from repro.ir import expr as E
+from repro.ir import op
+from repro.ir import stmt as S
+from repro.ir.mutator import IRMutator
+from repro.ir.printer import pretty_print
+from repro.ir.visitor import IRVisitor, children_of
+from repro.types import Float, Int
+
+
+x = E.Variable("x")
+y = E.Variable("y")
+
+
+def sample_stmt():
+    store = S.Store("out", E.Load(Float(32), "in", x) * 2.0, x)
+    loop = S.For("x", op.const(0), op.const(16), S.ForType.SERIAL, store)
+    return S.Allocate("out", Float(32), op.const(16), loop)
+
+
+class TestPrinter:
+    def test_expression_rendering(self):
+        assert pretty_print(x + 1) == "(x + 1)"
+        assert pretty_print(op.min_(x, y)) == "min(x, y)"
+        assert "select(" in pretty_print(op.make_select(x < y, x, y))
+
+    def test_statement_rendering_contains_structure(self):
+        text = pretty_print(sample_stmt())
+        assert "allocate out[16]" in text
+        assert "for x in" in text
+        assert "out[" in text
+
+    def test_vector_nodes(self):
+        ramp = E.Ramp(x, op.const(1), 4)
+        assert "ramp(x, 1, 4)" == pretty_print(ramp)
+        assert pretty_print(E.Broadcast(op.const(3), 4)) == "x4(3)"
+
+    def test_producer_consumer(self):
+        text = pretty_print(S.ProducerConsumer("f", True, S.Evaluate(op.const(0))))
+        assert text.startswith("produce f:")
+
+
+class TestVisitor:
+    def test_counts_nodes(self):
+        class Counter(IRVisitor):
+            def __init__(self):
+                self.loads = 0
+                self.stores = 0
+
+            def visit_Load(self, node):
+                self.loads += 1
+                self.visit(node.index)
+
+            def visit_Store(self, node):
+                self.stores += 1
+                self.visit(node.value)
+                self.visit(node.index)
+
+        counter = Counter()
+        counter.visit(sample_stmt())
+        assert counter.loads == 1 and counter.stores == 1
+
+    def test_children_of_covers_all_nodes(self):
+        # Every child yielded must itself be an Expr or Stmt.
+        seen = []
+        stack = [sample_stmt()]
+        while stack:
+            node = stack.pop()
+            seen.append(node)
+            for child in children_of(node):
+                assert isinstance(child, (E.Expr, S.Stmt))
+                stack.append(child)
+        assert len(seen) > 5
+
+
+class TestMutator:
+    def test_identity_mutation_preserves_object(self):
+        stmt = sample_stmt()
+        assert IRMutator().mutate(stmt) is stmt
+
+    def test_targeted_rewrite(self):
+        class DoubleConstants(IRMutator):
+            def visit_IntImm(self, node):
+                return E.IntImm(node.value * 2, node.type)
+
+        stmt = S.Store("b", op.const(3), op.const(1))
+        result = DoubleConstants().mutate(stmt)
+        assert op.const_value(result.value) == 6
+        assert op.const_value(result.index) == 2
+
+    def test_mutator_preserves_call_target(self):
+        marker = object()
+        call = E.Call(Int(32), "f", [x], E.CallType.HALIDE, target=marker)
+
+        class Bump(IRMutator):
+            def visit_Variable(self, node):
+                return node + 0 if False else E.Variable(node.name + "_renamed", node.type)
+
+        result = Bump().mutate(call)
+        assert result.target is marker
+        assert result.args[0].name == "x_renamed"
+
+
+class TestStatementEquality:
+    def test_equal_statements(self):
+        assert sample_stmt() == sample_stmt()
+
+    def test_unequal_statements(self):
+        a = S.Store("b", op.const(1), op.const(0))
+        b = S.Store("b", op.const(2), op.const(0))
+        assert a != b
+
+    def test_block_flattening(self):
+        inner = S.Block([S.Evaluate(op.const(1)), S.Evaluate(op.const(2))])
+        outer = S.Block([inner, S.Evaluate(op.const(3))])
+        assert len(outer.stmts) == 3
+
+    def test_block_make_collapses(self):
+        single = S.Evaluate(op.const(1))
+        assert S.Block.make([single]) is single
+        assert S.Block.make([]) is None
+        assert S.Block.make([None, single, None]) is single
+
+
+class TestForTypes:
+    def test_parallel_classification(self):
+        loop = S.For("i", op.const(0), op.const(4), S.ForType.GPU_BLOCK,
+                     S.Evaluate(op.const(0)))
+        assert loop.is_parallel()
+        serial = S.For("i", op.const(0), op.const(4), S.ForType.SERIAL,
+                       S.Evaluate(op.const(0)))
+        assert not serial.is_parallel()

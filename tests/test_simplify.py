@@ -1,0 +1,126 @@
+"""Tests for the simplifier and substitution utilities."""
+
+import pytest
+
+from repro.compiler.simplify import simplify, simplify_expr, used_variables
+from repro.compiler.substitute import substitute, substitute_name
+from repro.ir import expr as E
+from repro.ir import op
+from repro.ir import stmt as S
+from repro.types import Int
+
+
+x = E.Variable("x")
+y = E.Variable("y")
+
+
+class TestExpressionSimplification:
+    def test_constant_folding_through_tree(self):
+        e = (op.as_expr(2) + 3) * (op.as_expr(10) - 4)
+        assert op.const_value(simplify_expr(e)) == 30
+
+    def test_nested_constant_offsets_fold(self):
+        e = ((x + 2) + 3)
+        assert simplify_expr(e) == x + 5
+
+    def test_sub_of_add_folds(self):
+        e = (x + 5) - 3
+        assert simplify_expr(e) == x + 2
+
+    def test_x_minus_x(self):
+        assert op.const_value(simplify_expr(x - x)) == 0
+
+    def test_min_of_equal(self):
+        assert simplify_expr(op.min_(x + 1, x + 1)) == x + 1
+
+    def test_min_constant_difference_collapses(self):
+        assert op.min_(x + 1, x + 3) == x + 1
+        assert op.max_(x + 1, x + 3) == x + 3
+
+    def test_select_with_constant_condition(self):
+        e = E.Select(op.as_expr(1) < 2, x, y)
+        assert simplify_expr(e) == x
+
+    def test_let_substitution_of_cheap_value(self):
+        e = E.Let("t", x + 1, E.Variable("t") * 2)
+        assert simplify_expr(e) == (x + 1) * 2
+
+    def test_unused_let_removed(self):
+        e = E.Let("unused", x * y, op.as_expr(7))
+        assert op.const_value(simplify_expr(e)) == 7
+
+
+class TestStatementSimplification:
+    def test_dead_letstmt_removed(self):
+        body = S.Store("buf", op.as_expr(1), op.as_expr(0))
+        stmt = S.LetStmt("unused", x + y, body)
+        assert simplify(stmt) == body
+
+    def test_zero_extent_loop_removed(self):
+        loop = S.For("i", op.as_expr(0), op.as_expr(0), S.ForType.SERIAL,
+                     S.Store("buf", op.as_expr(1), E.Variable("i")))
+        result = simplify(loop)
+        assert not isinstance(result, S.For)
+
+    def test_single_iteration_loop_unwrapped(self):
+        loop = S.For("i", op.as_expr(3), op.as_expr(1), S.ForType.SERIAL,
+                     S.Store("buf", op.as_expr(1), E.Variable("i")))
+        result = simplify(loop)
+        assert isinstance(result, S.Store)
+        assert op.const_value(result.index) == 3
+
+    def test_if_with_constant_condition(self):
+        then_case = S.Store("buf", op.as_expr(1), op.as_expr(0))
+        else_case = S.Store("buf", op.as_expr(2), op.as_expr(0))
+        stmt = S.IfThenElse(op.as_expr(5) < 3, then_case, else_case)
+        assert simplify(stmt) == else_case
+
+    def test_used_variables(self):
+        stmt = S.Store("buf", x + y, E.Variable("i"))
+        assert used_variables(stmt) == {"x", "y", "i"}
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        assert substitute_name(x + y, "x", op.as_expr(5)) == op.as_expr(5) + y
+
+    def test_substitute_respects_let_shadowing(self):
+        e = E.Let("x", op.as_expr(1), E.Variable("x") + y)
+        result = substitute_name(e, "x", op.as_expr(99))
+        assert isinstance(result, E.Let)
+        assert result.body == E.Variable("x") + y
+
+    def test_substitute_in_statement(self):
+        stmt = S.Store("buf", x, x + 1)
+        result = substitute(stmt, {"x": op.as_expr(2)})
+        assert op.const_value(result.value) == 2
+        assert op.const_value(simplify_expr(result.index)) == 3
+
+    def test_empty_substitution_is_identity(self):
+        stmt = S.Store("buf", x, y)
+        assert substitute(stmt, {}) is stmt
+
+
+class TestInlining:
+    def test_inline_function(self):
+        from repro.compiler.inline import inline_function
+        from repro.lang import Func, Var
+
+        vx, vy = Var("x"), Var("y")
+        producer = Func("inl_producer")
+        producer[vx, vy] = vx * 10 + vy
+        call = producer[op.as_expr(3), op.as_expr(4)].to_call()
+        result = inline_function(call, producer.function)
+        assert op.const_value(simplify_expr(result)) == 34
+
+    def test_inline_rejects_reductions(self):
+        from repro.compiler.inline import inline_function
+        from repro.lang import Func, RDom, Var
+
+        vx = Var("x")
+        r = RDom(0, 4)
+        f = Func("inl_reduction")
+        f[vx] = 0
+        f[vx] = f[vx] + r.x
+        with pytest.raises(ValueError):
+            inline_function(op.as_expr(0), f.function)

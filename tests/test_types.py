@@ -1,0 +1,106 @@
+"""Tests for the type system."""
+
+import numpy as np
+import pytest
+
+from repro.types import Bool, Float, Int, Type, UInt, promote
+
+
+class TestConstruction:
+    def test_int_defaults(self):
+        t = Int()
+        assert t.code == "int" and t.bits == 32 and t.lanes == 1
+
+    def test_uint8(self):
+        t = UInt(8)
+        assert t.is_uint() and t.bits == 8
+
+    def test_float64(self):
+        t = Float(64)
+        assert t.is_float() and t.bits == 64
+
+    def test_bool_is_not_int(self):
+        assert Bool().is_bool()
+        assert not Bool().is_int()
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            Type("complex", 64)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Type("int", 0)
+
+    def test_invalid_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            Type("int", 32, 0)
+
+
+class TestVectorTypes:
+    def test_with_lanes(self):
+        assert Int(32).with_lanes(4).lanes == 4
+
+    def test_element_of(self):
+        assert Float(32, 8).element_of() == Float(32)
+
+    def test_is_vector(self):
+        assert Float(32, 4).is_vector()
+        assert not Float(32).is_vector()
+
+
+class TestRanges:
+    def test_uint8_range(self):
+        assert UInt(8).min_value() == 0
+        assert UInt(8).max_value() == 255
+
+    def test_int16_range(self):
+        assert Int(16).min_value() == -32768
+        assert Int(16).max_value() == 32767
+
+    def test_int32_can_represent_uint8(self):
+        assert Int(32).can_represent(UInt(8))
+
+    def test_uint8_cannot_represent_int8(self):
+        assert not UInt(8).can_represent(Int(8))
+
+    def test_float_can_represent_int(self):
+        assert Float(32).can_represent(Int(32))
+
+
+class TestNumpyInterop:
+    @pytest.mark.parametrize("make,dtype", [
+        (lambda: Int(32), np.int32),
+        (lambda: Int(64), np.int64),
+        (lambda: UInt(8), np.uint8),
+        (lambda: UInt(16), np.uint16),
+        (lambda: Float(32), np.float32),
+        (lambda: Float(64), np.float64),
+    ])
+    def test_roundtrip(self, make, dtype):
+        t = make()
+        assert t.to_numpy_dtype() == np.dtype(dtype)
+        assert Type.from_numpy_dtype(np.dtype(dtype)) == t
+
+    def test_bool_dtype(self):
+        assert Bool().to_numpy_dtype() == np.dtype(np.bool_)
+
+
+class TestPromotion:
+    def test_float_wins(self):
+        assert promote(Int(32), Float(32)) == Float(32)
+
+    def test_wider_wins(self):
+        assert promote(Int(16), Int(32)) == Int(32)
+
+    def test_signed_wins_at_equal_width(self):
+        assert promote(Int(32), UInt(32)) == Int(32)
+
+    def test_vector_scalar_broadcast(self):
+        assert promote(Float(32, 4), Float(32)) == Float(32, 4)
+
+    def test_mismatched_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            promote(Float(32, 4), Float(32, 8))
+
+    def test_bool_with_int(self):
+        assert promote(Bool(), Int(32)) == Int(32)
