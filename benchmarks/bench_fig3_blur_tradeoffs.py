@@ -1,4 +1,5 @@
-"""Figure 3: the locality / parallelism / redundant-work trade-off for the blur.
+"""Figure 3: the locality / parallelism / redundant-work trade-off for the blur,
+plus the backend parity/speedup check for the vectorized NumPy backend.
 
 The paper quantifies five schedules of the two-stage blur by span (available
 parallelism), maximum reuse distance (locality) and work amplification
@@ -13,6 +14,9 @@ by the interpreter), but the qualitative pattern must match:
 * sliding within tiles: amplification slightly above 1, span ~strips.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.apps import make_blur
@@ -59,3 +63,39 @@ def test_fig3_blur_tradeoff_table(benchmark, blur_image):
     assert by_name["tiled_novec"]["max_reuse_distance"] < \
         by_name["breadth_first"]["max_reuse_distance"]
     assert by_name["sliding_in_tiles"]["span"] > by_name["sliding_window"]["span"]
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_numpy_backend_parity_and_speedup(benchmark, blur_image):
+    """The vectorized NumPy backend must be bit-identical and >=10x faster.
+
+    This is the repo's backend-parity gate: CI runs it on every PR.  The
+    breadth-first schedule is the best case for batching (dense innermost
+    loops over the whole image); the margin over 10x is large enough
+    (~40-70x) that shared-runner timing noise does not matter.
+    """
+    size = [blur_image.shape[0], blur_image.shape[1]]
+
+    def compare_backends():
+        app = make_blur(blur_image).apply_schedule("breadth_first")
+        start = time.perf_counter()
+        reference = app.realize(size, backend="interp")
+        interp_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        output = app.realize(size, backend="numpy")
+        numpy_seconds = time.perf_counter() - start
+        return reference, output, interp_seconds, numpy_seconds
+
+    reference, output, interp_seconds, numpy_seconds = run_once(benchmark, compare_backends)
+    speedup = interp_seconds / max(numpy_seconds, 1e-9)
+    print_table(
+        "Figure 3 backend check: two-stage blur, breadth-first schedule",
+        [{"backend": "interp", "seconds": interp_seconds, "speedup": 1.0},
+         {"backend": "numpy", "seconds": numpy_seconds, "speedup": speedup}],
+        ["backend", "seconds", "speedup"],
+    )
+    assert output.dtype == reference.dtype
+    assert np.array_equal(output, reference), \
+        "numpy backend output differs from the interpreter"
+    assert speedup >= 10.0, \
+        f"numpy backend is only {speedup:.1f}x faster than the interpreter"

@@ -3,6 +3,8 @@
 Run with:  python examples/quickstart.py
 """
 
+import time
+
 import numpy as np
 
 from repro.lang import Buffer, Func, Var, repeat_edge
@@ -32,6 +34,22 @@ def main() -> None:
     result = blur_y.realize([64, 48])
     print("output shape:", result.shape)
     print("output mean :", float(result.mean()))
+
+    # --- pick a backend -------------------------------------------------------
+    # The same lowered pipeline can run on the scalar interpreter ("interp",
+    # the default) or the vectorized NumPy backend ("numpy"), which batches
+    # innermost loops into whole-array operations.  Output is bit-identical.
+    pipeline = Pipeline(blur_y)
+    start = time.perf_counter()
+    interp_result = pipeline.realize([256, 192], backend="interp")
+    interp_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    numpy_result = pipeline.realize([256, 192], backend="numpy")
+    numpy_seconds = time.perf_counter() - start
+    assert np.array_equal(interp_result, numpy_result)
+    print(f"\ninterp backend: {interp_seconds * 1000:.1f} ms, "
+          f"numpy backend: {numpy_seconds * 1000:.1f} ms "
+          f"({interp_seconds / numpy_seconds:.0f}x faster, bit-identical)")
 
     # --- inspect what the compiler generated ---------------------------------
     print("\nSynthesized loop nest (truncated):")

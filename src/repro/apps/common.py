@@ -42,10 +42,18 @@ class AppPipeline:
         self.schedules[name](self.funcs)
         return self
 
-    def realize(self, sizes=None, **kwargs):
+    def realize(self, sizes=None, backend=None, **kwargs):
+        """Run the app under its current schedule.
+
+        ``backend`` selects the execution backend (``"interp"`` or
+        ``"numpy"``); further keyword arguments are forwarded to
+        :meth:`repro.pipeline.Pipeline.realize`.
+        """
         sizes = sizes if sizes is not None else self.default_size
         merged = dict(self.realize_kwargs)
         merged.update(kwargs)
+        if backend is not None:
+            merged["backend"] = backend
         return self.pipeline().realize(sizes, **merged)
 
 

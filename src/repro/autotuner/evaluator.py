@@ -4,9 +4,11 @@ Two evaluators are provided:
 
 * :class:`CostModelEvaluator` — scores candidates with the abstract machine
   model (deterministic, fast; used by tests and benchmarks);
-* :class:`WallClockEvaluator` — times the interpreter, matching the paper's
-  use of measured running time (slow in this Python reproduction, but kept for
-  completeness).
+* :class:`WallClockEvaluator` — times real executions, matching the paper's
+  use of measured running time.  By default it runs candidates on the
+  vectorized NumPy backend, which is 10-100x faster than the interpreter and
+  bit-identical to it, so the genetic search can evaluate far larger
+  populations per second.
 
 Both verify the candidate's output against the reference schedule's output
 (Section 5: "we also verify the program output against a correct reference
@@ -47,20 +49,23 @@ class _BaseEvaluator:
     def __init__(self, pipeline: Pipeline, sizes: Sequence[int],
                  params: Optional[Dict[str, object]] = None,
                  inputs: Optional[Dict[str, np.ndarray]] = None,
-                 verify: bool = True, tolerance: float = 1e-4):
+                 verify: bool = True, tolerance: float = 1e-4,
+                 backend: Optional[str] = None):
         self.pipeline = pipeline
         self.sizes = list(sizes)
         self.params = params
         self.inputs = inputs
         self.verify = verify
         self.tolerance = tolerance
+        self.backend = backend
         self._reference_output: Optional[np.ndarray] = None
 
     def reference_output(self) -> np.ndarray:
         """The output of the default (breadth-first-ish) schedule, computed once."""
         if self._reference_output is None:
             self._reference_output = self.pipeline.realize(
-                self.sizes, params=self.params, inputs=self.inputs
+                self.sizes, params=self.params, inputs=self.inputs,
+                backend=self.backend,
             )
         return self._reference_output
 
@@ -77,10 +82,16 @@ class _BaseEvaluator:
 
 
 class CostModelEvaluator(_BaseEvaluator):
-    """Scores candidates by estimated cycles on a machine profile."""
+    """Scores candidates by estimated cycles on a machine profile.
+
+    Runs on the interpreter backend by default: the cost model consumes the
+    per-operation event stream, which only the scalar interpreter reports
+    exactly (the NumPy backend batches events).
+    """
 
     def __init__(self, pipeline: Pipeline, sizes: Sequence[int],
                  profile: MachineProfile = XEON_W3520, **kwargs):
+        kwargs.setdefault("backend", "interp")
         super().__init__(pipeline, sizes, **kwargs)
         self.profile = profile
 
@@ -89,7 +100,7 @@ class CostModelEvaluator(_BaseEvaluator):
             model = CostModel(self.profile)
             output = self.pipeline.realize(
                 self.sizes, schedules=schedules, listeners=[model],
-                params=self.params, inputs=self.inputs,
+                params=self.params, inputs=self.inputs, backend=self.backend,
             )
             if not self._check(output):
                 return EvaluationResult(INVALID_FITNESS, False, "output mismatch")
@@ -99,9 +110,14 @@ class CostModelEvaluator(_BaseEvaluator):
 
 
 class WallClockEvaluator(_BaseEvaluator):
-    """Scores candidates by interpreter wall-clock time (median of ``repeats`` runs)."""
+    """Scores candidates by wall-clock time (median of ``repeats`` runs).
+
+    Defaults to the vectorized NumPy backend; pass ``backend="interp"`` to
+    time the scalar interpreter instead.
+    """
 
     def __init__(self, pipeline: Pipeline, sizes: Sequence[int], repeats: int = 1, **kwargs):
+        kwargs.setdefault("backend", "numpy")
         super().__init__(pipeline, sizes, **kwargs)
         self.repeats = max(1, repeats)
 
@@ -113,7 +129,7 @@ class WallClockEvaluator(_BaseEvaluator):
                 start = time.perf_counter()
                 output = self.pipeline.realize(
                     self.sizes, schedules=schedules,
-                    params=self.params, inputs=self.inputs,
+                    params=self.params, inputs=self.inputs, backend=self.backend,
                 )
                 times.append(time.perf_counter() - start)
             if not self._check(output):

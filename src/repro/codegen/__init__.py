@@ -1,0 +1,34 @@
+"""The vectorized NumPy code generation backend.
+
+The interpreter in :mod:`repro.runtime.executor` evaluates one scalar
+expression per pixel, which makes every schedule orders of magnitude slower
+than the same loop nest in C.  This package recovers most of that gap without
+leaving Python: the legality analysis (:mod:`repro.codegen.legality`) marks
+the innermost loops of a lowered pipeline whose bodies can be evaluated as
+whole-array NumPy operations, and :class:`~repro.codegen.numpy_backend.NumpyExecutor`
+peels those loops — binding the loop variable to an ``arange`` index vector
+and letting NumPy broadcasting evaluate the body once for all iterations —
+while falling back to the scalar interpreter for anything it cannot batch.
+
+Both backends are required to produce bit-identical output for every pipeline
+and schedule; ``tests/test_numpy_backend.py`` enforces this across all the
+paper's applications.
+"""
+
+from repro.codegen.legality import (
+    BatchabilityError,
+    LoopBatchInfo,
+    StoreCheck,
+    affine_coefficient,
+    analyze_batchable_loops,
+)
+from repro.codegen.numpy_backend import NumpyExecutor
+
+__all__ = [
+    "NumpyExecutor",
+    "analyze_batchable_loops",
+    "affine_coefficient",
+    "LoopBatchInfo",
+    "StoreCheck",
+    "BatchabilityError",
+]

@@ -1,0 +1,364 @@
+"""The vectorized NumPy execution backend.
+
+:class:`NumpyExecutor` is a drop-in replacement for the scalar interpreter
+(:class:`~repro.runtime.executor.Executor`): same construction, same binding
+API, same listener protocol, and — by contract — bit-identical output.  The
+difference is how ``For`` loops run.  Loops marked batchable by
+:mod:`repro.codegen.legality` are *peeled*: instead of iterating, the loop
+variable is bound to ``np.arange(min, min + extent)`` and the body executes
+once, with NumPy broadcasting evaluating every iteration simultaneously.
+Everything the scalar interpreter already does with vector values (fancy
+indexed loads/stores, ``np.where`` for ``select``, ufunc intrinsics) carries
+over unchanged, which is what keeps the two backends bit-identical: the same
+elementwise operations run in the same order, just whole-array at a time.
+
+Four constructs need care beyond plain broadcasting:
+
+* **Already-vectorized bodies.**  The vectorization pass replaces the
+  innermost loop with ``Ramp``/``Broadcast`` vectors of ``k`` lanes.  When
+  the surrounding loop is batched, the loop axis and the lane axis must stay
+  distinct: ramps with a batched base evaluate to a 2-D ``(iterations,
+  lanes)`` array, and broadcasts lift batched scalars to ``(iterations, 1)``
+  so NumPy pairs the axes correctly.
+
+* **Guards.**  A ``GUARD_WITH_IF`` split tail produces an ``IfThenElse``
+  whose condition becomes a boolean vector under batching.  The backend
+  executes each branch in a *sub-batch*: every loop-aligned array in scope is
+  filtered down to the lanes selected by the mask — the statement-level
+  analogue of ``np.where`` — so loads in the branch never touch
+  out-of-bounds locations for masked-off iterations.
+
+* **Store ordering.**  A batched store is one fancy-indexed scatter, which
+  only matches the scalar loop when iterations write disjoint locations.
+  Where the legality pass derived an affine coefficient for the store index,
+  evaluating it (it is usually a symbolic stride) settles disjointness in
+  O(1); otherwise the evaluated index vector is checked for uniqueness
+  directly.  A store that fails its check raises an internal abort and the
+  loop re-runs through the scalar path, which is always correct: the body
+  cannot observe its own stores (legality forbids load/store overlap), so
+  re-execution writes every location with the scalar-order values.
+
+* **Assertions.**  ``AssertStmt`` conditions may evaluate to vectors; the
+  batched loop asserts all lanes at once.
+
+Instrumentation caveat: listeners observe batched events (one ``on_load``
+with ``lanes == iterations`` instead of many scalar events), and a rare
+store-check abort replays the loop, double-counting its events.  Totals match
+the interpreter on the common path, but the machine model and the Figure 3
+metrics should keep using the interpreter backend, whose event stream is
+exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+import numpy as np
+
+from repro.codegen.legality import (
+    LoopBatchInfo,
+    _variable_names,
+    analyze_batchable_loops,
+)
+from repro.compiler.lower import LoweredPipeline
+from repro.ir import expr as E
+from repro.ir import stmt as S
+from repro.runtime.counters import ExecutionListener
+from repro.runtime.executor import (
+    _MISSING,
+    ExecutionError,
+    Executor,
+    build_eval_table,
+)
+
+__all__ = ["NumpyExecutor"]
+
+
+class _BatchAbort(Exception):
+    """Internal: a batched loop body found it cannot preserve store order."""
+
+
+def _indices_unique(index: np.ndarray) -> bool:
+    """Whether a flat index vector has no duplicate entries."""
+    flat = index.ravel()
+    if flat.size <= 1:
+        return True
+    steps = np.diff(flat)
+    # Affine indices form monotonic sequences; this O(n) test settles the
+    # common case before paying for a sort.
+    if bool((steps > 0).all()) or bool((steps < 0).all()):
+        return True
+    return np.unique(flat).size == flat.size
+
+
+class NumpyExecutor(Executor):
+    """Executes a lowered pipeline with batched whole-array loop evaluation."""
+
+    #: Loops shorter than this run through the scalar path (batching overhead
+    #: does not pay for itself on a couple of iterations).
+    MIN_BATCH_EXTENT = 2
+
+    def __init__(self, lowered: LoweredPipeline,
+                 listeners: Iterable[ExecutionListener] = ()):
+        super().__init__(lowered, listeners=listeners)
+        self._batch_info: Dict[int, LoopBatchInfo] = analyze_batchable_loops(lowered.stmt)
+        #: Iteration count of the loop currently being batched (None outside).
+        self._lanes: Optional[int] = None
+        #: Stores proven disjoint for the current batched execution (by id).
+        self._verified_stores: Set[int] = set()
+        #: Scope names whose binding carries the batch (loop) axis on axis 0:
+        #: the batched loop variable plus every let transitively derived from
+        #: it.  Masked sub-batches must filter exactly these — an array's
+        #: shape alone cannot distinguish a loop-aligned vector from a
+        #: lane-axis vector whose width happens to equal the batch extent.
+        self._aligned_names: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # batched loop execution
+    # ------------------------------------------------------------------
+    def _exec_For(self, stmt: S.For) -> None:
+        info = self._batch_info.get(id(stmt))
+        if info is None or not info.batchable or self._lanes is not None:
+            return super()._exec_For(stmt)
+        mn = int(self._eval(stmt.min))
+        extent = int(self._eval(stmt.extent))
+        if extent < self.MIN_BATCH_EXTENT:
+            return self._run_scalar(stmt, mn, extent)
+
+        verified: Set[int] = set()
+        for check in info.store_checks:
+            if int(self._eval_quiet(check.coefficient)) != 0:
+                verified.add(id(check.store))
+
+        for listener in self.listeners:
+            listener.on_loop_begin(stmt.name, stmt.for_type, extent)
+        saved = self.scope.get(stmt.name, _MISSING)
+        self.scope[stmt.name] = np.arange(mn, mn + extent)
+        self._lanes = extent
+        self._verified_stores = verified
+        self._aligned_names = {stmt.name}
+        aborted = False
+        try:
+            self._execute(stmt.body)
+        except _BatchAbort:
+            aborted = True
+        finally:
+            self._lanes = None
+            self._verified_stores = set()
+            self._aligned_names = set()
+            if saved is _MISSING:
+                self.scope.pop(stmt.name, None)
+            else:
+                self.scope[stmt.name] = saved
+        for listener in self.listeners:
+            listener.on_loop_end(stmt.name, stmt.for_type, extent)
+        if aborted:
+            # Safe to replay: the body cannot load what it stores, so scalar
+            # re-execution overwrites every location in the correct order.
+            self._run_scalar(stmt, mn, extent)
+
+    def _run_scalar(self, stmt: S.For, mn: int, extent: int) -> None:
+        """The inherited scalar loop (bounds already evaluated)."""
+        for listener in self.listeners:
+            listener.on_loop_begin(stmt.name, stmt.for_type, extent)
+        saved = self.scope.get(stmt.name, _MISSING)
+        try:
+            for i in range(mn, mn + extent):
+                self.scope[stmt.name] = i
+                self._execute(stmt.body)
+        finally:
+            if saved is _MISSING:
+                self.scope.pop(stmt.name, None)
+            else:
+                self.scope[stmt.name] = saved
+        for listener in self.listeners:
+            listener.on_loop_end(stmt.name, stmt.for_type, extent)
+
+    def _eval_quiet(self, e: E.Expr):
+        """Evaluate without reporting to listeners (used for legality checks)."""
+        saved = self.listeners
+        self.listeners = []
+        try:
+            return self._eval(e)
+        finally:
+            self.listeners = saved
+
+    # ------------------------------------------------------------------
+    # lets: track which bindings carry the batch axis
+    # ------------------------------------------------------------------
+    def _references_aligned(self, e: E.Expr) -> bool:
+        names: Set[str] = set()
+        _variable_names(e, names)
+        return bool(names & self._aligned_names)
+
+    def _exec_LetStmt(self, stmt: S.LetStmt) -> None:
+        if self._lanes is None:
+            return super()._exec_LetStmt(stmt)
+        value = self._eval(stmt.value)
+        aligned = self._references_aligned(stmt.value)
+        saved = self.scope.get(stmt.name, _MISSING)
+        was_aligned = stmt.name in self._aligned_names
+        self.scope[stmt.name] = value
+        if aligned:
+            self._aligned_names.add(stmt.name)
+        elif was_aligned:
+            self._aligned_names.discard(stmt.name)
+        try:
+            self._execute(stmt.body)
+        finally:
+            if was_aligned:
+                self._aligned_names.add(stmt.name)
+            else:
+                self._aligned_names.discard(stmt.name)
+            if saved is _MISSING:
+                self.scope.pop(stmt.name, None)
+            else:
+                self.scope[stmt.name] = saved
+
+    def _eval_Let(self, e: E.Let):
+        if self._lanes is None:
+            return super()._eval_Let(e)
+        value = self._eval(e.value)
+        aligned = self._references_aligned(e.value)
+        saved = self.scope.get(e.name, _MISSING)
+        was_aligned = e.name in self._aligned_names
+        self.scope[e.name] = value
+        if aligned:
+            self._aligned_names.add(e.name)
+        elif was_aligned:
+            self._aligned_names.discard(e.name)
+        try:
+            return self._eval(e.body)
+        finally:
+            if was_aligned:
+                self._aligned_names.add(e.name)
+            else:
+                self._aligned_names.discard(e.name)
+            if saved is _MISSING:
+                self.scope.pop(e.name, None)
+            else:
+                self.scope[e.name] = saved
+
+    # ------------------------------------------------------------------
+    # stores: scatters must be provably order-independent
+    # ------------------------------------------------------------------
+    def _exec_Store(self, stmt: S.Store) -> None:
+        if self._lanes is None:
+            return super()._exec_Store(stmt)
+        buffer = self.buffers.get(stmt.name)
+        if buffer is None:
+            raise ExecutionError(f"store to unknown buffer {stmt.name!r}")
+        index = self._eval(stmt.index)
+        value = self._eval(stmt.value)
+        if not (isinstance(index, np.ndarray) and index.ndim > 0):
+            # The batched index collapsed to one location.  A scalar value
+            # means every iteration writes the same thing — storing it once
+            # is equivalent; per-iteration values would need the last one.
+            if isinstance(value, np.ndarray) and value.ndim > 0:
+                raise _BatchAbort(stmt.name)
+            idx = int(index)
+            if idx < 0 or idx >= buffer.size:
+                raise ExecutionError(
+                    f"store to {stmt.name!r} out of bounds (index {idx}, size {buffer.size})"
+                )
+            buffer[idx] = value
+            for listener in self.listeners:
+                listener.on_store(stmt.name, index, 1, buffer.dtype.itemsize)
+            return
+        if id(stmt) not in self._verified_stores and not _indices_unique(index):
+            raise _BatchAbort(stmt.name)
+        idx = index.astype(np.intp)
+        if idx.size and (idx.min() < 0 or idx.max() >= buffer.size):
+            raise ExecutionError(
+                f"store to {stmt.name!r} out of bounds "
+                f"(index {int(idx.max())}, size {buffer.size})"
+            )
+        buffer[idx] = value
+        for listener in self.listeners:
+            listener.on_store(stmt.name, index, idx.size, buffer.dtype.itemsize)
+
+    # ------------------------------------------------------------------
+    # vector values under batching: keep loop axis and lane axis distinct
+    # ------------------------------------------------------------------
+    def _eval_Ramp(self, e: E.Ramp):
+        base = self._eval(e.base)
+        stride = self._eval(e.stride)
+        if isinstance(base, np.ndarray) and base.ndim >= 1:
+            return base[..., None] + np.asarray(stride)[..., None] * np.arange(e.lanes)
+        return base + stride * np.arange(e.lanes)
+
+    def _eval_Broadcast(self, e: E.Broadcast):
+        value = self._eval(e.value)
+        if self._lanes is not None and isinstance(value, np.ndarray) and value.ndim == 1:
+            return value[:, None]
+        if isinstance(value, np.ndarray) and value.ndim > 0:
+            return value
+        return np.full(e.lanes, value)
+
+    # ------------------------------------------------------------------
+    # guards become masked sub-batches
+    # ------------------------------------------------------------------
+    def _exec_IfThenElse(self, stmt: S.IfThenElse) -> None:
+        condition = self._eval(stmt.condition)
+        if not (isinstance(condition, np.ndarray) and condition.ndim > 0):
+            if bool(condition):
+                self._execute(stmt.then_case)
+            elif stmt.else_case is not None:
+                self._execute(stmt.else_case)
+            return
+        if self._lanes is None:
+            raise ExecutionError(
+                "vector condition outside a batched loop; "
+                "use TailStrategy.ROUND_UP for vectorized dimensions"
+            )
+        mask = np.asarray(condition, dtype=bool)
+        # A lane-axis vector (condition.type.lanes > 1) is indistinguishable
+        # by shape from a per-iteration mask when the vector width equals the
+        # batch extent; masking it along the loop axis would be wrong.
+        if stmt.condition.type.lanes != 1 or mask.ndim != 1:
+            raise ExecutionError("a guard condition must be scalar per iteration")
+        self._execute_masked(stmt.then_case, mask)
+        if stmt.else_case is not None:
+            self._execute_masked(stmt.else_case, ~mask)
+
+    def _execute_masked(self, branch: Optional[S.Stmt], mask: np.ndarray) -> None:
+        """Run ``branch`` for the subset of batched iterations selected by ``mask``."""
+        if branch is None or not mask.any():
+            return
+        if mask.all():
+            self._execute(branch)
+            return
+        lanes = self._lanes
+        # Filter every loop-aligned array in scope down to the selected
+        # iterations; bindings created inside the branch are then naturally
+        # mask-sized and need no filtering on read.  Alignment is tracked by
+        # name (_aligned_names), not inferred from shapes: a lane-axis vector
+        # whose width equals the batch extent must not be filtered.
+        saved = {
+            name: value for name in (self._aligned_names & self.scope.keys())
+            if isinstance(value := self.scope[name], np.ndarray)
+            and value.ndim >= 1 and value.shape[0] == lanes
+        }
+        for name, value in saved.items():
+            self.scope[name] = value[mask]
+        self._lanes = int(mask.sum())
+        try:
+            self._execute(branch)
+        finally:
+            self._lanes = lanes
+            self.scope.update(saved)
+
+    # ------------------------------------------------------------------
+    # vector-aware assertions
+    # ------------------------------------------------------------------
+    def _exec_AssertStmt(self, stmt: S.AssertStmt) -> None:
+        condition = self._eval(stmt.condition)
+        if isinstance(condition, np.ndarray):
+            if not bool(np.all(condition)):
+                raise ExecutionError(stmt.message)
+            return
+        if not bool(condition):
+            raise ExecutionError(stmt.message)
+
+
+NumpyExecutor._EVAL_TABLE = build_eval_table(NumpyExecutor)

@@ -138,6 +138,8 @@ def lower(output_function: Function,
         for dim, (mn, extent) in zip(output.args, output_bounds):
             replacements[f"{output.name}.{dim}.min"] = _op.const(int(mn))
             replacements[f"{output.name}.{dim}.extent"] = _op.const(int(extent))
+            # GUARD_WITH_IF split tails on the output guard against ".max".
+            replacements[f"{output.name}.{dim}.max"] = _op.const(int(mn) + int(extent) - 1)
         stmt = substitute(stmt, replacements)
 
     # 3. Bounds inference.

@@ -192,6 +192,9 @@ def estimate_cost(pipeline, sizes: Sequence[int],
     if not isinstance(pipeline, Pipeline):
         pipeline = Pipeline(pipeline)
     model = CostModel(profile)
+    # Pinned to the interpreter: the cost model charges per-operation events,
+    # which the batched NumPy backend does not report exactly.
     pipeline.realize(sizes, schedules=schedules, options=options,
-                     listeners=[model], params=params, inputs=inputs)
+                     listeners=[model], params=params, inputs=inputs,
+                     backend="interp")
     return model.report()

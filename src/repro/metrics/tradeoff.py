@@ -142,8 +142,11 @@ def measure_tradeoffs(pipeline, sizes: Sequence[int], schedules=None, options=No
         pipeline = Pipeline(pipeline)
     lowered = pipeline.lower(schedules=schedules, options=options)
     metrics = TradeoffMetrics(serialized_loops=set(lowered.slides.values()))
+    # Pinned to the interpreter: these metrics consume the exact per-operation
+    # event stream, which the batched NumPy backend does not report.
     pipeline.realize(sizes, schedules=schedules, options=options,
-                     listeners=[metrics], params=params, inputs=inputs)
+                     listeners=[metrics], params=params, inputs=inputs,
+                     backend="interp")
     report = metrics.report()
     if baseline_ops:
         report.work_amplification = report.total_ops / baseline_ops

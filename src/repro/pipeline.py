@@ -2,9 +2,14 @@
 
 A :class:`Pipeline` ties together an output :class:`~repro.lang.Func`, the
 compiler, and a backend: it lowers the pipeline (optionally with schedule
-overrides supplied by the autotuner), runs it through the interpreter over
-numpy buffers, and can attach instrumentation listeners (counters, cache
+overrides supplied by the autotuner), runs it through an execution backend
+over numpy buffers, and can attach instrumentation listeners (counters, cache
 simulator, cost model) to the execution.
+
+Backends are selected by name (``backend="interp"`` for the scalar
+interpreter, ``backend="numpy"`` for the vectorized NumPy backend; the
+``REPRO_BACKEND`` environment variable overrides the default).  Every backend
+must produce bit-identical output for the same pipeline and schedule.
 """
 
 from __future__ import annotations
@@ -20,8 +25,8 @@ from repro.core.function import Function
 from repro.core.schedule import FuncSchedule
 from repro.ir import expr as E
 from repro.ir.visitor import IRVisitor
+from repro.runtime.backend import create_executor
 from repro.runtime.counters import Counters, ExecutionListener
-from repro.runtime.executor import Executor
 
 __all__ = ["Pipeline", "RealizationReport"]
 
@@ -84,15 +89,20 @@ class Pipeline:
                 options: Optional[LoweringOptions] = None,
                 listeners: Iterable[ExecutionListener] = (),
                 params: Optional[Dict[str, object]] = None,
-                inputs: Optional[Dict[str, np.ndarray]] = None) -> np.ndarray:
+                inputs: Optional[Dict[str, np.ndarray]] = None,
+                backend: Optional[str] = None) -> np.ndarray:
         """Compile and run the pipeline, returning the output region as a numpy array.
 
         ``sizes`` gives the extent of each output dimension.  ``params`` binds
         scalar parameters by name; ``inputs`` binds image parameters by name
         (concrete :class:`~repro.lang.Buffer` inputs are found automatically).
+        ``backend`` selects the execution backend (``"interp"`` or
+        ``"numpy"``; default from the ``REPRO_BACKEND`` environment variable,
+        else the interpreter).
         """
         report = self.realize_with_report(sizes, schedules=schedules, options=options,
-                                          listeners=listeners, params=params, inputs=inputs)
+                                          listeners=listeners, params=params, inputs=inputs,
+                                          backend=backend)
         return report.output
 
     def realize_with_report(self, sizes: Sequence[int],
@@ -100,7 +110,8 @@ class Pipeline:
                             options: Optional[LoweringOptions] = None,
                             listeners: Iterable[ExecutionListener] = (),
                             params: Optional[Dict[str, object]] = None,
-                            inputs: Optional[Dict[str, np.ndarray]] = None) -> RealizationReport:
+                            inputs: Optional[Dict[str, np.ndarray]] = None,
+                            backend: Optional[str] = None) -> RealizationReport:
         """Like :meth:`realize`, but also returns execution counters and listeners."""
         sizes = [int(s) for s in sizes]
         lowered = self.lower(sizes=sizes, schedules=schedules, options=options)
@@ -113,13 +124,14 @@ class Pipeline:
 
         counters = Counters()
         all_listeners: List[ExecutionListener] = [counters] + list(listeners)
-        executor = Executor(lowered, listeners=all_listeners)
+        executor = create_executor(lowered, listeners=all_listeners, backend=backend)
 
         # Bind the requested output region.
         rounded_shape: List[int] = []
         for dim, size in zip(output.args, sizes):
             executor.bind(f"{output.name}.{dim}.min", 0)
             executor.bind(f"{output.name}.{dim}.extent", size)
+            executor.bind(f"{output.name}.{dim}.max", size - 1)
             factor = output.schedule.total_split_factor(dim)
             rounded_shape.append(int(math.ceil(size / factor) * factor))
 

@@ -1,8 +1,33 @@
-"""Runtime backends: the IR interpreter, the Python code generator, and
+"""Runtime backends: the IR interpreter, the backend registry, and
 execution instrumentation used by the machine model.
+
+The vectorized NumPy backend lives in :mod:`repro.codegen` and registers
+itself here under the name ``"numpy"``; select backends by name through
+:func:`get_backend` / ``Pipeline.realize(backend=...)``.
 """
 
+from repro.runtime.backend import (
+    Backend,
+    BackendFactory,
+    backend_names,
+    create_executor,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.runtime.counters import Counters, ExecutionListener
-from repro.runtime.executor import Executor
+from repro.runtime.executor import ExecutionError, Executor
 
-__all__ = ["Executor", "Counters", "ExecutionListener"]
+__all__ = [
+    "Executor",
+    "ExecutionError",
+    "Counters",
+    "ExecutionListener",
+    "Backend",
+    "BackendFactory",
+    "backend_names",
+    "create_executor",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+]

@@ -1,0 +1,113 @@
+"""Execution backend protocol and registry.
+
+A *backend* turns a :class:`~repro.compiler.lower.LoweredPipeline` into
+results over numpy buffers.  All backends share the executor binding API
+(:meth:`bind`, :meth:`bind_input`, :meth:`provide_buffer`, :meth:`run`), so
+the :class:`~repro.pipeline.Pipeline` driver, the autotuner's evaluators and
+the benchmark harness select one by name:
+
+* ``"interp"`` — the scalar tree-walking interpreter
+  (:class:`~repro.runtime.executor.Executor`).  The reference backend: exact
+  per-operation instrumentation for the machine model, but slow.
+* ``"numpy"`` — the vectorized NumPy backend
+  (:class:`~repro.codegen.numpy_backend.NumpyExecutor`).  Batches innermost
+  loops into whole-array operations; bit-identical to the interpreter and
+  10-100x faster, but instrumentation sees batched (per-array) events.
+
+The default is ``"interp"``; set the ``REPRO_BACKEND`` environment variable
+or pass ``backend=`` to :meth:`Pipeline.realize` to override.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.compiler.lower import LoweredPipeline
+from repro.runtime.counters import ExecutionListener
+
+__all__ = [
+    "Backend",
+    "BackendFactory",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "resolve_backend_name",
+    "create_executor",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+]
+
+DEFAULT_BACKEND = "interp"
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What the pipeline driver requires of an executor instance."""
+
+    def bind(self, name: str, value) -> None: ...
+
+    def bind_input(self, name: str, array: np.ndarray) -> None: ...
+
+    def provide_buffer(self, name: str, flat_array: np.ndarray) -> None: ...
+
+    def run(self) -> None: ...
+
+
+#: A backend is registered as a factory: (lowered, listeners) -> Backend.
+BackendFactory = Callable[..., Backend]
+
+_BACKENDS: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _BACKENDS[name] = factory
+
+
+def _ensure_builtin_backends() -> None:
+    # Imported lazily to avoid import cycles (the executor imports runtime
+    # modules; codegen imports the executor).
+    if "interp" not in _BACKENDS:
+        from repro.runtime.executor import Executor
+
+        register_backend("interp", Executor)
+    if "numpy" not in _BACKENDS:
+        from repro.codegen.numpy_backend import NumpyExecutor
+
+        register_backend("numpy", NumpyExecutor)
+
+
+def backend_names() -> tuple:
+    """The names of all registered backends."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve an explicit name, the ``REPRO_BACKEND`` env var, or the default."""
+    if name is not None:
+        return name
+    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+
+
+def get_backend(name: Optional[str] = None) -> BackendFactory:
+    """Look up a backend factory by (resolved) name."""
+    _ensure_builtin_backends()
+    resolved = resolve_backend_name(name)
+    try:
+        return _BACKENDS[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {resolved!r}; available: {', '.join(backend_names())}"
+        ) from None
+
+
+def create_executor(lowered: LoweredPipeline,
+                    listeners: Iterable[ExecutionListener] = (),
+                    backend: Optional[str] = None) -> Backend:
+    """Instantiate the named backend over a lowered pipeline."""
+    return get_backend(backend)(lowered, listeners=listeners)

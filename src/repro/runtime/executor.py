@@ -23,7 +23,7 @@ from repro.ir import expr as E
 from repro.ir import stmt as S
 from repro.runtime.counters import ExecutionListener
 
-__all__ = ["Executor", "ExecutionError"]
+__all__ = ["Executor", "ExecutionError", "build_eval_table"]
 
 
 class ExecutionError(RuntimeError):
@@ -218,7 +218,7 @@ class Executor:
     # ------------------------------------------------------------------
     def _eval(self, e: E.Expr):
         kind = type(e).__name__
-        method = _EVALUATORS.get(kind)
+        method = self._EVAL_TABLE.get(kind)
         if method is None:
             raise ExecutionError(f"cannot evaluate expression {kind}")
         return method(self, e)
@@ -413,11 +413,22 @@ class _Missing:
 
 _MISSING = _Missing()
 
-_EVALUATORS = {
-    name[len("_eval_"):]: getattr(Executor, name)
-    for name in dir(Executor)
-    if name.startswith("_eval_")
-}
-# The front-end Var/RVar classes are Variable subclasses; route them the same way.
-_EVALUATORS["Var"] = Executor._eval_Variable
-_EVALUATORS["RVar"] = Executor._eval_Variable
+def build_eval_table(cls) -> dict:
+    """Map expression class names to ``cls``'s ``_eval_<Name>`` methods.
+
+    Backends subclassing :class:`Executor` rebuild the table so their
+    overrides take part in dispatch (dict lookup is measurably faster than
+    per-node ``getattr``, which matters for the tree-walking interpreter).
+    """
+    table = {
+        name[len("_eval_"):]: getattr(cls, name)
+        for name in dir(cls)
+        if name.startswith("_eval_")
+    }
+    # The front-end Var/RVar classes are Variable subclasses; route them the same way.
+    table["Var"] = table["Variable"]
+    table["RVar"] = table["Variable"]
+    return table
+
+
+Executor._EVAL_TABLE = build_eval_table(Executor)

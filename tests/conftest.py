@@ -1,9 +1,16 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The image-comparison helpers live in :mod:`_image_assertions`; the re-export
+below keeps older ``from conftest import assert_images_close`` imports
+working.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+from _image_assertions import assert_images_close  # noqa: F401  (re-export)
 
 
 @pytest.fixture
@@ -29,14 +36,3 @@ def uint8_image(rng):
     return (rng.random((20, 12)) * 256).astype(np.uint8)
 
 
-def assert_images_close(actual: np.ndarray, expected: np.ndarray,
-                        tolerance: float = 1e-4) -> None:
-    """Assert two images match within a tolerance, with a helpful message."""
-    assert actual.shape == expected.shape, (
-        f"shape mismatch: {actual.shape} vs {expected.shape}"
-    )
-    difference = np.abs(np.asarray(actual, dtype=np.float64)
-                        - np.asarray(expected, dtype=np.float64))
-    assert difference.max() <= tolerance, (
-        f"max difference {difference.max()} exceeds tolerance {tolerance}"
-    )

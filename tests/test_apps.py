@@ -28,7 +28,7 @@ from repro.reference import (
     unsharp_ref,
 )
 
-from conftest import assert_images_close
+from _image_assertions import assert_images_close
 
 
 @pytest.fixture(scope="module")

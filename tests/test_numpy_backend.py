@@ -1,0 +1,354 @@
+"""The vectorized NumPy backend: legality analysis and backend parity.
+
+The backend's contract is bit-identical output with the scalar interpreter
+for every pipeline and schedule.  The parity suite below runs every paper
+application under at least three distinct schedules on both backends and
+compares outputs exactly (no tolerance); the unit tests pin down the
+batchability verdicts of the legality pass and the registry plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _image_assertions import assert_images_identical
+from repro.apps import (
+    make_bilateral_grid,
+    make_blur,
+    make_camera_pipe,
+    make_histogram_equalize,
+    make_interpolate,
+    make_local_laplacian,
+    make_unsharp,
+)
+from repro.codegen import NumpyExecutor, affine_coefficient, analyze_batchable_loops
+from repro.core.split import TailStrategy
+from repro.ir import expr as E
+from repro.ir import op
+from repro.ir import stmt as S
+from repro.runtime import backend_names, get_backend, resolve_backend_name
+from repro.runtime.executor import Executor
+from repro.types import Float, Int
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20130616)
+
+
+# ---------------------------------------------------------------------------
+# parity: every app, >= 3 distinct schedules each, bit-identical output
+# ---------------------------------------------------------------------------
+
+def _split_guarded(app):
+    """A third schedule for apps that only name two: breadth-first, plus the
+    output's innermost dimension split with a GUARD_WITH_IF tail (exercising
+    the backend's masked sub-batch path)."""
+    app.apply_schedule("breadth_first")
+    output = app.output
+    innermost = output.function.args[0]
+    output.split(innermost, f"{innermost}_o", f"{innermost}_i", 5,
+                 tail=TailStrategy.GUARD_WITH_IF)
+    return app
+
+
+def _apply(app, schedule):
+    if schedule == "_split_guarded":
+        return _split_guarded(app)
+    return app.apply_schedule(schedule)
+
+
+def _parity_cases():
+    # Each maker seeds its own generator so repeated calls build apps over
+    # *identical* inputs (the parity test constructs the app twice: named
+    # schedules mutate the Funcs they touch).
+    def blur():
+        rng = np.random.default_rng(1)
+        return make_blur(rng.random((40, 28)).astype(np.float32)), None
+
+    def unsharp():
+        rng = np.random.default_rng(2)
+        return make_unsharp(rng.random((24, 18)).astype(np.float32), strength=1.5), None
+
+    def hist():
+        rng = np.random.default_rng(3)
+        return make_histogram_equalize((rng.random((20, 14)) * 256).astype(np.uint8)), None
+
+    def bilateral():
+        rng = np.random.default_rng(4)
+        return make_bilateral_grid(rng.random((16, 12)).astype(np.float32),
+                                   s_sigma=8, r_sigma=0.2), None
+
+    def camera():
+        rng = np.random.default_rng(5)
+        return make_camera_pipe((rng.random((32, 24)) * 1024).astype(np.uint16)), [24, 16, 3]
+
+    def interpolate():
+        rng = np.random.default_rng(6)
+        rgba = rng.random((16, 12, 4)).astype(np.float32)
+        rgba[:, :, 3] = (rgba[:, :, 3] > 0.5).astype(np.float32)
+        return make_interpolate(rgba, levels=2), [16, 12, 3]
+
+    def local_laplacian():
+        rng = np.random.default_rng(7)
+        return make_local_laplacian(rng.random((24, 16)).astype(np.float32),
+                                    levels=2, intensity_levels=4), None
+
+    apps = {
+        "blur": (blur, ["breadth_first", "full_fusion", "sliding_window",
+                        "tiled", "tuned"]),
+        "unsharp": (unsharp, ["breadth_first", "tuned", "_split_guarded"]),
+        "histogram_equalize": (hist, ["breadth_first", "tuned", "_split_guarded"]),
+        "bilateral_grid": (bilateral, ["breadth_first", "tuned", "_split_guarded"]),
+        "camera_pipe": (camera, ["breadth_first", "tuned", "_split_guarded"]),
+        "interpolate": (interpolate, ["breadth_first", "tuned", "gpu"]),
+        "local_laplacian": (local_laplacian, ["breadth_first", "tuned", "gpu"]),
+    }
+    for name, (maker, schedules) in apps.items():
+        for schedule in schedules:
+            yield pytest.param(maker, schedule, id=f"{name}-{schedule}")
+
+
+@pytest.mark.parametrize("maker, schedule", _parity_cases())
+def test_backend_parity(maker, schedule):
+    app, sizes = maker()
+    _apply(app, schedule)
+    reference = app.realize(sizes, backend="interp")
+    app2, _ = maker()  # fresh Funcs: schedules mutate them
+    _apply(app2, schedule)
+    output = app2.realize(sizes, backend="numpy")
+    assert_images_identical(output, reference)
+
+
+# ---------------------------------------------------------------------------
+# legality analysis
+# ---------------------------------------------------------------------------
+
+def _float_store_loop(index: E.Expr, value: E.Expr, name="out", var="x",
+                      extent=8) -> S.For:
+    return S.For(var, op.const(0), op.const(extent), S.ForType.SERIAL,
+                 S.Store(name, value, index))
+
+
+def test_affine_coefficient_of_plain_variable():
+    x = E.Variable("x", Int(32))
+    coeff = affine_coefficient(x, "x")
+    assert op.const_value(coeff) == 1
+
+
+def test_affine_coefficient_with_symbolic_stride():
+    x = E.Variable("x", Int(32))
+    stride = E.Variable("out.stride.1", Int(32))
+    index = (x - op.const(3)) * stride + op.const(7)
+    coeff = affine_coefficient(index, "x")
+    # The coefficient is the symbolic stride itself (times one).
+    names = set()
+    def collect(e):
+        if isinstance(e, E.Variable):
+            names.add(e.name)
+        from repro.ir.visitor import children_of
+        for c in children_of(e):
+            collect(c)
+    collect(coeff)
+    assert names == {"out.stride.1"}
+
+
+def test_affine_coefficient_resolves_lets():
+    x = E.Variable("x", Int(32))
+    xo = E.Variable("xo", Int(32))
+    coeff = affine_coefficient(E.Variable("x", Int(32)), "xo",
+                               lets={"x": xo * op.const(4) + op.const(1)})
+    assert op.const_value(coeff) == 4
+
+
+def test_affine_coefficient_rejects_nonlinear():
+    x = E.Variable("x", Int(32))
+    assert affine_coefficient(x * x, "x") is None
+    assert affine_coefficient(E.Call(Int(32), "floor", [x], E.CallType.INTRINSIC), "x") is None
+
+
+def test_simple_store_loop_is_batchable():
+    x = E.Variable("x", Int(32))
+    loop = _float_store_loop(x, E.FloatImm(1.0))
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert info.batchable
+    assert len(info.store_checks) == 1
+    assert info.store_checks[0].buffer == "out"
+
+
+def test_reduction_loop_is_not_batchable():
+    # out[x] = out[x] + 1 — a loop-carried dependence through 'out'.
+    x = E.Variable("x", Int(32))
+    value = E.Load(Float(32), "out", x) + E.FloatImm(1.0)
+    loop = _float_store_loop(x, value)
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert not info.batchable
+    assert "loop-carried" in info.reason
+
+
+def test_scatter_with_data_dependent_index_has_no_certificate():
+    # out[in[x]] = 1.0 — legal to attempt, but only with a runtime
+    # uniqueness check (no static disjointness certificate).
+    x = E.Variable("x", Int(32))
+    index = E.Load(Int(32), "in", x)
+    loop = _float_store_loop(index, E.FloatImm(1.0))
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert info.batchable
+    assert info.store_checks == []
+
+
+def test_constant_index_store_is_not_batchable():
+    # out[3] = f(x): every iteration writes one cell; last-wins ordering
+    # cannot survive batching.
+    x = E.Variable("x", Int(32))
+    loop = _float_store_loop(op.const(3), E.Cast(Float(32), x))
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert not info.batchable
+    assert "does not advance" in info.reason
+
+
+def test_nested_loop_is_not_batchable():
+    x = E.Variable("x", Int(32))
+    y = E.Variable("y", Int(32))
+    inner = _float_store_loop(x + y * op.const(8), E.FloatImm(0.0), var="x")
+    outer = S.For("y", op.const(0), op.const(4), S.ForType.SERIAL, inner)
+    infos = analyze_batchable_loops(outer)
+    assert not infos[id(outer)].batchable
+    assert "contains For" in infos[id(outer)].reason
+    assert infos[id(inner)].batchable
+
+
+def test_double_store_to_same_buffer_is_not_batchable():
+    x = E.Variable("x", Int(32))
+    body = S.Block([
+        S.Store("out", E.FloatImm(0.0), x),
+        S.Store("out", E.FloatImm(1.0), x + op.const(1)),
+    ])
+    loop = S.For("x", op.const(0), op.const(8), S.ForType.SERIAL, body)
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert not info.batchable
+    assert "stored more than once" in info.reason
+
+
+def test_shadowed_loop_variable_is_not_batchable():
+    x = E.Variable("x", Int(32))
+    body = S.LetStmt("x", op.const(0), S.Store("out", E.FloatImm(0.0), x))
+    loop = S.For("x", op.const(0), op.const(8), S.ForType.SERIAL, body)
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert not info.batchable
+
+
+def test_store_through_split_lets_has_certificate():
+    # The scheduler wraps split bodies in lets: x = xo*4 + xi; the analysis
+    # must resolve the store index through them.
+    x = E.Variable("x", Int(32))
+    xi = E.Variable("xi", Int(32))
+    body = S.LetStmt("x", xi * op.const(1) + op.const(0),
+                     S.Store("out", E.FloatImm(0.0), x * op.const(2)))
+    loop = S.For("xi", op.const(0), op.const(8), S.ForType.SERIAL, body)
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert info.batchable
+    assert len(info.store_checks) == 1
+    assert op.const_value(info.store_checks[0].coefficient) == 2
+
+
+# ---------------------------------------------------------------------------
+# runtime fallback: histograms batch their scatter only when indices are unique
+# ---------------------------------------------------------------------------
+
+def test_histogram_matches_interpreter_exactly(rng):
+    """Histogram equalization is reduction-heavy: most loops fall back to the
+    scalar path, and the outputs must still be bit-identical."""
+    image = (rng.random((16, 10)) * 256).astype(np.uint8)
+    reference = make_histogram_equalize(image).apply_schedule("breadth_first") \
+        .realize(backend="interp")
+    output = make_histogram_equalize(image).apply_schedule("breadth_first") \
+        .realize(backend="numpy")
+    assert_images_identical(output, reference)
+
+
+def test_masked_subbatch_does_not_filter_lane_vectors():
+    """A lane-axis vector whose width equals the batch extent must survive a
+    masked sub-batch unfiltered: alignment is tracked by name, not shape."""
+    from types import SimpleNamespace
+
+    lanes = 4  # vector width == loop extent, the ambiguous case
+    x = E.Variable("x", Int(32))
+    v = E.Variable("v", Int(32).with_lanes(lanes))
+    index = v + E.Broadcast(x * op.const(lanes), lanes)
+    value = E.Cast(Float(32).with_lanes(lanes), index)
+    guarded = S.IfThenElse(x < op.const(3), S.Store("out", value, index))
+    body = S.LetStmt("v", E.Ramp(op.const(0), op.const(1), lanes), guarded)
+    loop = S.For("x", op.const(0), op.const(lanes), S.ForType.SERIAL, body)
+    lowered = SimpleNamespace(stmt=loop)
+
+    def run(executor_class):
+        executor = executor_class(lowered)
+        out = np.zeros(3 * lanes, dtype=np.float32)
+        executor.provide_buffer("out", out)
+        executor.run()
+        return out
+
+    reference = run(Executor)
+    batched = run(NumpyExecutor)
+    assert np.array_equal(reference, np.arange(3 * lanes, dtype=np.float32))
+    assert np.array_equal(batched, reference)
+
+
+def test_lane_vector_guard_condition_is_rejected():
+    """A guard whose condition is a lane-axis vector (not per-iteration) must
+    raise, never be silently reinterpreted as an iteration mask — even when
+    the vector width equals the batch extent."""
+    from types import SimpleNamespace
+
+    from repro.runtime import ExecutionError
+
+    lanes = 4
+    x = E.Variable("x", Int(32))
+    v = E.Ramp(op.const(0), op.const(1), lanes)  # lane vector, width == extent
+    index = v + E.Broadcast(x * op.const(lanes), lanes)
+    value = E.Cast(Float(32).with_lanes(lanes), index)
+    guarded = S.IfThenElse(v < E.Broadcast(op.const(3), lanes),
+                           S.Store("out", value, index))
+    loop = S.For("x", op.const(0), op.const(lanes), S.ForType.SERIAL, guarded)
+
+    executor = NumpyExecutor(SimpleNamespace(stmt=loop))
+    executor.provide_buffer("out", np.zeros(lanes * lanes, dtype=np.float32))
+    with pytest.raises(ExecutionError, match="scalar per iteration"):
+        executor.run()
+
+
+# ---------------------------------------------------------------------------
+# backend registry
+# ---------------------------------------------------------------------------
+
+def test_backend_registry_names():
+    assert set(backend_names()) >= {"interp", "numpy"}
+
+
+def test_backend_lookup():
+    assert get_backend("interp") is Executor
+    assert get_backend("numpy") is NumpyExecutor
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("cuda")
+
+
+def test_backend_resolution_order(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend_name(None) == "interp"
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert resolve_backend_name(None) == "numpy"
+    assert resolve_backend_name("interp") == "interp"
+
+
+def test_realize_respects_backend_env(rng, monkeypatch):
+    image = rng.random((12, 8)).astype(np.float32)
+    app = make_blur(image).apply_schedule("breadth_first")
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    via_env = app.realize()
+    explicit = app.realize(backend="interp")
+    assert_images_identical(via_env, explicit)
