@@ -33,11 +33,16 @@ def test_fig3_blur_tradeoff_table(benchmark, blur_image):
     size = [blur_image.shape[0], blur_image.shape[1]]
 
     def measure_all():
+        # One un-mutated algorithm graph; every schedule is applied
+        # non-destructively as first-class Schedule data.
+        app = make_blur(blur_image)
+        pipeline = app.pipeline()
         rows = []
         baseline_ops = None
         for strategy in STRATEGIES:
-            app = make_blur(blur_image).apply_schedule(strategy)
-            report = measure_tradeoffs(app.pipeline(), size, baseline_ops=baseline_ops)
+            schedule = app.named_schedule(strategy)
+            report = measure_tradeoffs(pipeline, size, schedule=schedule,
+                                       baseline_ops=baseline_ops)
             if baseline_ops is None:
                 baseline_ops = report.total_ops
                 report.work_amplification = 1.0

@@ -1,0 +1,82 @@
+"""Export the Figure 3 blur schedule-sweep timings as a JSON artifact.
+
+Runs every named blur schedule against a single un-mutated algorithm graph
+through the compile-once API (``pipeline.compile(schedule=s, target=t)``),
+times repeated executions of each CompiledPipeline, and writes
+``BENCH_fig3.json`` mapping schedule name -> {backend, wall seconds, digest}.
+CI uploads the file on every PR so the performance trajectory of the
+schedule sweep is tracked over time.
+
+Run with:  python benchmarks/export_fig3_artifact.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import Target, __version__
+from repro.apps import BLUR_SCHEDULES, make_blur
+
+REPEATS = 5
+IMAGE_SHAPE = (128, 96)
+#: The numpy backend sweeps every schedule; the interpreter (100x slower)
+#: contributes only the breadth-first baseline so CI stays fast.
+INTERP_SCHEDULES = ("breadth_first",)
+
+
+def time_compiled(compiled, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        compiled()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def main(output_path: str = "BENCH_fig3.json") -> None:
+    image = np.random.default_rng(20130616).random(IMAGE_SHAPE).astype(np.float32)
+    app = make_blur(image)
+    pipeline = app.pipeline()
+    size = app.default_size
+
+    results = {}
+    for backend in ("numpy", "interp"):
+        target = Target(backend=backend)
+        names = BLUR_SCHEDULES if backend == "numpy" else INTERP_SCHEDULES
+        for name in names:
+            schedule = app.named_schedule(name)
+            compile_start = time.perf_counter()
+            compiled = pipeline.compile(size, schedule=schedule, target=target)
+            compile_seconds = time.perf_counter() - compile_start
+            seconds = time_compiled(compiled)
+            results[f"{name}@{backend}"] = {
+                "schedule": name,
+                "backend": backend,
+                "seconds": seconds,
+                "compile_seconds": compile_seconds,
+                "schedule_digest": schedule.digest(),
+            }
+            print(f"{name:>20} @ {backend:<6} {seconds * 1e3:9.3f} ms "
+                  f"(compile {compile_seconds * 1e3:.1f} ms)")
+
+    artifact = {
+        "benchmark": "fig3_blur_schedule_sweep",
+        "image_shape": list(IMAGE_SHAPE),
+        "repeats": REPEATS,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "cache_info": pipeline.cache_info()._asdict(),
+        "results": results,
+    }
+    with open(output_path, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {output_path} ({len(results)} rows)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_fig3.json")

@@ -38,13 +38,16 @@ def main() -> None:
     print("\nbest schedule found:")
     print(result.best_genome.describe())
 
-    schedules = result.best_schedules(pipeline)
-    output = pipeline.realize(app.default_size, schedules=schedules)
-    print("\ncorrect against reference:",
+    # The winner is a first-class Schedule value: serializable (JSON) and
+    # applied non-destructively — ship it separately from the algorithm.
+    best = result.best_schedule(pipeline)
+    print(f"\nschedule digest: {best.digest()}")
+    output = pipeline.realize(app.default_size, schedule=best)
+    print("correct against reference:",
           bool(np.allclose(output, blur_ref(image), atol=1e-4)))
 
     naive = estimate_cost(pipeline, app.default_size, profile=SMALL_CACHE_CPU)
-    tuned = estimate_cost(pipeline, app.default_size, schedules=schedules,
+    tuned = estimate_cost(pipeline, app.default_size, schedule=best,
                           profile=SMALL_CACHE_CPU)
     print(f"breadth-first baseline: {naive.milliseconds:.3f} ms (model)")
     print(f"autotuned schedule    : {tuned.milliseconds:.3f} ms (model) "

@@ -30,10 +30,12 @@ from repro.lang import (
     select,
     sum_,
 )
-from repro.pipeline import Pipeline
+from repro.core.pipeline_schedule import Schedule, as_schedule
+from repro.pipeline import CompiledPipeline, Pipeline
+from repro.runtime.target import Target, as_target
 from repro.compiler import LoweringOptions
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Bool",
@@ -54,6 +56,11 @@ __all__ = [
     "select",
     "sum_",
     "Pipeline",
+    "CompiledPipeline",
+    "Schedule",
+    "as_schedule",
+    "Target",
+    "as_target",
     "LoweringOptions",
     "__version__",
 ]

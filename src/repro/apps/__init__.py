@@ -2,15 +2,18 @@
 
 Each module exposes a ``make_*`` constructor returning an :class:`AppPipeline`
 (the output Func, the dictionary of stages so schedules can reach them, and
-metadata such as the algorithm's line count), plus named schedule functions
-(naive breadth-first, hand-tuned, GPU-style) used by the benchmarks.
+metadata such as the algorithm's line count), plus named schedules — first
+class, serializable :class:`~repro.core.Schedule` data (naive breadth-first,
+hand-tuned, GPU-style) swept by the benchmarks and appliable either
+destructively (``app.apply_schedule(name)``) or non-destructively
+(``app.compile(schedule=name)``).
 """
 
 from repro.apps.common import AppPipeline, downsample_2d, upsample_2d
 from repro.apps.blur import make_blur, BLUR_SCHEDULES
-from repro.apps.histogram_equalize import make_histogram_equalize
-from repro.apps.unsharp import make_unsharp
-from repro.apps.bilateral_grid import make_bilateral_grid
+from repro.apps.histogram_equalize import make_histogram_equalize, HISTOGRAM_SCHEDULES
+from repro.apps.unsharp import make_unsharp, UNSHARP_SCHEDULES
+from repro.apps.bilateral_grid import make_bilateral_grid, BILATERAL_GRID_SCHEDULES
 from repro.apps.camera_pipe import make_camera_pipe
 from repro.apps.interpolate import make_interpolate
 from repro.apps.local_laplacian import make_local_laplacian
@@ -22,8 +25,11 @@ __all__ = [
     "make_blur",
     "BLUR_SCHEDULES",
     "make_histogram_equalize",
+    "HISTOGRAM_SCHEDULES",
     "make_unsharp",
+    "UNSHARP_SCHEDULES",
     "make_bilateral_grid",
+    "BILATERAL_GRID_SCHEDULES",
     "make_camera_pipe",
     "make_interpolate",
     "make_local_laplacian",

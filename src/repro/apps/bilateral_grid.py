@@ -15,34 +15,37 @@ from typing import Dict
 import numpy as np
 
 from repro.apps.common import AppPipeline
+from repro.core.pipeline_schedule import Schedule
 from repro.lang import Buffer, Func, RDom, Var, cast, clamp, repeat_edge, select
 from repro.types import Float, Int
 
-__all__ = ["make_bilateral_grid"]
+__all__ = ["make_bilateral_grid", "BILATERAL_GRID_SCHEDULES"]
 
 
-def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
-    for name in ("grid", "blurz", "blurx", "blury", "bilateral"):
-        funcs[name].compute_root()
-
-
-def _schedule_tuned(funcs: Dict[str, Func]) -> None:
+def _tuned_schedule() -> Schedule:
     """Parallel grid construction, fused blur chain, vectorized reconstruction."""
-    x, y, z, c = Var("x"), Var("y"), Var("z"), Var("c")
-    yo, yi = Var("yo"), Var("yi")
-    funcs["grid"].compute_root().parallel(z)
-    funcs["blurz"].compute_root().parallel(z).vectorize(x, 4)
-    funcs["blurx"].compute_root().parallel(z).vectorize(x, 4)
-    funcs["blury"].compute_root().parallel(z).vectorize(x, 4)
-    funcs["bilateral"].split(y, yo, yi, 8).parallel(yo).vectorize(x, 4)
-
-
-def _schedule_gpu(funcs: Dict[str, Func]) -> None:
-    x, y, xi, yi = Var("x"), Var("y"), Var("xi"), Var("yi")
-    funcs["grid"].compute_root()
+    s = Schedule().func("grid").compute_root().parallel("z")
     for name in ("blurz", "blurx", "blury"):
-        funcs[name].compute_root().gpu_tile(x, y, xi, yi, 8, 8)
-    funcs["bilateral"].gpu_tile(x, y, xi, yi, 16, 16)
+        s = s.func(name).compute_root().parallel("z").vectorize("x", 4)
+    return (s.func("bilateral").split("y", "yo", "yi", 8).parallel("yo")
+            .vectorize("x", 4).schedule)
+
+
+def _gpu_schedule() -> Schedule:
+    s = Schedule().func("grid").compute_root()
+    for name in ("blurz", "blurx", "blury"):
+        s = s.func(name).compute_root().gpu_tile("x", "y", "xi", "yi", 8, 8)
+    return s.func("bilateral").gpu_tile("x", "y", "xi", "yi", 16, 16).schedule
+
+
+#: Named schedules as first-class Schedule data.
+BILATERAL_GRID_SCHEDULES: Dict[str, Schedule] = {
+    "breadth_first": Schedule(
+        {name: [("compute_root",)]
+         for name in ("grid", "blurz", "blurx", "blury", "bilateral")}),
+    "tuned": _tuned_schedule(),
+    "gpu": _gpu_schedule(),
+}
 
 
 def make_bilateral_grid(image: np.ndarray, s_sigma: int = 8, r_sigma: float = 0.1,
@@ -146,10 +149,6 @@ def make_bilateral_grid(image: np.ndarray, s_sigma: int = 8, r_sigma: float = 0.
         output=bilateral,
         funcs=funcs,
         algorithm_lines=34,
-        schedules={
-            "breadth_first": _schedule_breadth_first,
-            "tuned": _schedule_tuned,
-            "gpu": _schedule_gpu,
-        },
+        schedules=dict(BILATERAL_GRID_SCHEDULES),
         default_size=[width, height],
     )

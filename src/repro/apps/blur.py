@@ -8,83 +8,60 @@ so the Figure 3 / Figure 4 benchmarks can sweep them.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.apps.common import AppPipeline
+from repro.core.pipeline_schedule import Schedule
 from repro.lang import Buffer, Func, Var, repeat_edge
 
-__all__ = ["make_blur", "BLUR_SCHEDULES"]
+__all__ = ["make_blur", "BLUR_SCHEDULES", "tiled_blur_schedule", "sliding_in_tiles_schedule"]
 
 
-def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
-    """Each stage entirely evaluated before the next (the library-call strategy)."""
-    funcs["blur_x"].compute_root()
-
-
-def _schedule_full_fusion(funcs: Dict[str, Func]) -> None:
-    """Values computed on the fly each time they are needed (inlining)."""
-    funcs["blur_x"].compute_inline()
-
-
-def _schedule_sliding_window(funcs: Dict[str, Func]) -> None:
-    """Values computed when first needed, kept until no longer useful."""
-    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
-    y = "y"
-    blur_x.store_root().compute_at(blur_y, y)
-
-
-def _schedule_tiled(funcs: Dict[str, Func], tile: int = 32, vectorize: bool = True) -> None:
+def tiled_blur_schedule(tile: int = 32, vectorize: bool = True) -> Schedule:
     """Overlapping tiles processed in parallel (redundant work on tile edges)."""
-    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
-    x, y = Var("x"), Var("y")
-    xo, yo, xi, yi = Var("xo"), Var("yo"), Var("xi"), Var("yi")
-    blur_y.tile(x, y, xo, yo, xi, yi, tile, tile).parallel(yo)
-    blur_x.compute_at(blur_y, xo)
+    s = (Schedule()
+         .func("blur_y").tile("x", "y", "xo", "yo", "xi", "yi", tile, tile).parallel("yo")
+         .func("blur_x").compute_at("blur_y", "xo"))
     if vectorize:
-        blur_y.vectorize(xi, 4)
-        blur_x.vectorize(x, 4)
+        s = s.func("blur_y").vectorize("xi", 4).func("blur_x").vectorize("x", 4)
+    return s.schedule
 
 
-def _schedule_tiled_novec(funcs: Dict[str, Func]) -> None:
-    _schedule_tiled(funcs, vectorize=False)
-
-
-def _schedule_sliding_in_tiles(funcs: Dict[str, Func], strip: int = 8) -> None:
+def sliding_in_tiles_schedule(strip: int = 8) -> Schedule:
     """Strips of scanlines in parallel, sliding window within each strip."""
-    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
-    y, yo, yi = Var("y"), Var("yo"), Var("yi")
-    blur_y.split(y, yo, yi, strip).parallel(yo)
-    blur_x.store_at(blur_y, yo).compute_at(blur_y, yi)
+    return (Schedule()
+            .func("blur_y").split("y", "yo", "yi", strip).parallel("yo")
+            .func("blur_x").store_at("blur_y", "yo").compute_at("blur_y", "yi")
+            .schedule)
 
 
-def _schedule_tuned(funcs: Dict[str, Func]) -> None:
-    """A schedule equivalent to the expert-tuned one the paper's tuner beat."""
-    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
-    x, y, xi, yi = Var("x"), Var("y"), Var("xi"), Var("yi")
-    xo, yo = Var("xo"), Var("yo")
-    blur_y.tile(x, y, xo, yo, xi, yi, 64, 32).parallel(yo).vectorize(xi, 4)
-    blur_x.store_at(blur_y, yo).compute_at(blur_y, yi).vectorize(x, 4)
-
-
-def _schedule_gpu(funcs: Dict[str, Func]) -> None:
-    """Map tiles to GPU blocks and intra-tile pixels to GPU threads."""
-    blur_x, blur_y = funcs["blur_x"], funcs["blur_y"]
-    x, y, xi, yi = Var("x"), Var("y"), Var("xi"), Var("yi")
-    blur_y.gpu_tile(x, y, xi, yi, 16, 16)
-    blur_x.compute_at(blur_y, Var("x_blk"))
-
-
-BLUR_SCHEDULES = {
-    "breadth_first": _schedule_breadth_first,
-    "full_fusion": _schedule_full_fusion,
-    "sliding_window": _schedule_sliding_window,
-    "tiled": _schedule_tiled,
-    "tiled_novec": _schedule_tiled_novec,
-    "sliding_in_tiles": _schedule_sliding_in_tiles,
-    "tuned": _schedule_tuned,
-    "gpu": _schedule_gpu,
+#: The Figure 2-4 schedule family, as first-class serializable Schedule data.
+BLUR_SCHEDULES: Dict[str, Schedule] = {
+    # Each stage entirely evaluated before the next (the library-call strategy).
+    "breadth_first": Schedule().func("blur_x").compute_root().schedule,
+    # Values computed on the fly each time they are needed (inlining).
+    "full_fusion": Schedule().func("blur_x").compute_inline().schedule,
+    # Values computed when first needed, kept until no longer useful.
+    "sliding_window": (Schedule()
+                       .func("blur_x").store_root().compute_at("blur_y", "y")
+                       .schedule),
+    "tiled": tiled_blur_schedule(),
+    "tiled_novec": tiled_blur_schedule(vectorize=False),
+    "sliding_in_tiles": sliding_in_tiles_schedule(),
+    # A schedule equivalent to the expert-tuned one the paper's tuner beat.
+    "tuned": (Schedule()
+              .func("blur_y").tile("x", "y", "xo", "yo", "xi", "yi", 64, 32)
+              .parallel("yo").vectorize("xi", 4)
+              .func("blur_x").store_at("blur_y", "yo").compute_at("blur_y", "yi")
+              .vectorize("x", 4)
+              .schedule),
+    # Map tiles to GPU blocks and intra-tile pixels to GPU threads.
+    "gpu": (Schedule()
+            .func("blur_y").gpu_tile("x", "y", "xi", "yi", 16, 16)
+            .func("blur_x").compute_at("blur_y", "x_blk")
+            .schedule),
 }
 
 

@@ -19,37 +19,39 @@ from typing import Dict
 import numpy as np
 
 from repro.apps.common import AppPipeline
+from repro.core.pipeline_schedule import Schedule, as_schedule
 from repro.lang import Buffer, Func, RDom, Var, cast, clamp, repeat_edge, select
 from repro.types import Float, Int, UInt
 
 __all__ = ["make_camera_pipe"]
 
 
-def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
+def _breadth_first_schedule(funcs: Dict[str, Func]) -> Schedule:
+    s = Schedule()
     for name, func in funcs.items():
         if name not in ("processed",) and not name.endswith("_clamped"):
-            func.compute_root()
+            s = s.func(func.name).compute_root()
+    return as_schedule(s)
 
 
-def _schedule_tuned(funcs: Dict[str, Func]) -> None:
+def _tuned_schedule(funcs: Dict[str, Func]) -> Schedule:
     """Fuse the demosaic web into strips of output scanlines, as the paper's tuner does.
 
     Blocks of scanlines are distributed across threads; the whole chain from
     hot-pixel suppression through color correction is computed per strip (good
     producer-consumer locality), the LUT is computed once at the root.
     """
-    processed = funcs["processed"]
-    x, y, c = Var("x"), Var("y"), Var("c")
-    yo, yi = Var("yo"), Var("yi")
-    processed.split(y, yo, yi, 8).parallel(yo).vectorize(x, 4)
-    funcs["corrected"].compute_at(processed, yo).vectorize(x, 4)
+    s = (Schedule()
+         .func("processed").split("y", "yo", "yi", 8).parallel("yo").vectorize("x", 4)
+         .func("corrected").compute_at("processed", "yo").vectorize("x", 4))
     for name in ("demosaic_r", "demosaic_g", "demosaic_b"):
-        funcs[name].compute_at(processed, yo).vectorize(x, 4)
+        s = s.func(funcs[name].name).compute_at("processed", "yo").vectorize("x", 4)
     for name in ("g_at_r", "g_at_b", "r_at_gr", "b_at_gr", "r_at_gb", "b_at_gb",
                  "r_at_b", "b_at_r"):
-        funcs[name].compute_at(processed, yo)
-    funcs["denoised"].compute_at(processed, yo).vectorize(x, 4)
-    funcs["curve"].compute_root()
+        s = s.func(funcs[name].name).compute_at("processed", "yo")
+    s = (s.func("denoised").compute_at("processed", "yo").vectorize("x", 4)
+         .func("curve").compute_root())
+    return as_schedule(s)
 
 
 def make_camera_pipe(raw: np.ndarray, color_temp: float = 3700.0, gamma: float = 2.2,
@@ -193,8 +195,8 @@ def make_camera_pipe(raw: np.ndarray, color_temp: float = 3700.0, gamma: float =
         funcs=funcs,
         algorithm_lines=123,
         schedules={
-            "breadth_first": _schedule_breadth_first,
-            "tuned": _schedule_tuned,
+            "breadth_first": _breadth_first_schedule(funcs),
+            "tuned": _tuned_schedule(funcs),
         },
         default_size=[width - 4, height - 4, 3],
     )

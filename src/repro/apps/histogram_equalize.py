@@ -13,23 +13,25 @@ from typing import Dict
 import numpy as np
 
 from repro.apps.common import AppPipeline
+from repro.core.pipeline_schedule import Schedule
 from repro.lang import Buffer, Func, RDom, Var, cast
 from repro.types import Float, Int
 
-__all__ = ["make_histogram_equalize"]
+__all__ = ["make_histogram_equalize", "HISTOGRAM_SCHEDULES"]
 
-
-def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
-    funcs["histogram"].compute_root()
-    funcs["cdf"].compute_root()
-
-
-def _schedule_tuned(funcs: Dict[str, Func]) -> None:
-    funcs["histogram"].compute_root()
-    funcs["cdf"].compute_root()
-    out = funcs["equalized"]
-    x, y, yo, yi = Var("x"), Var("y"), Var("yo"), Var("yi")
-    out.split(y, yo, yi, 8).parallel(yo).vectorize(x, 4)
+#: Named schedules as first-class Schedule data.
+HISTOGRAM_SCHEDULES: Dict[str, Schedule] = {
+    "breadth_first": (Schedule()
+                      .func("histogram").compute_root()
+                      .func("cdf").compute_root()
+                      .schedule),
+    "tuned": (Schedule()
+              .func("histogram").compute_root()
+              .func("cdf").compute_root()
+              .func("equalized").split("y", "yo", "yi", 8).parallel("yo")
+              .vectorize("x", 4)
+              .schedule),
+}
 
 
 def make_histogram_equalize(image: np.ndarray, bins: int = 256,
@@ -67,9 +69,6 @@ def make_histogram_equalize(image: np.ndarray, bins: int = 256,
         output=equalized,
         funcs=funcs,
         algorithm_lines=6,
-        schedules={
-            "breadth_first": _schedule_breadth_first,
-            "tuned": _schedule_tuned,
-        },
+        schedules=dict(HISTOGRAM_SCHEDULES),
         default_size=[width, height],
     )

@@ -14,31 +14,35 @@ from typing import Dict, List
 import numpy as np
 
 from repro.apps.common import AppPipeline
+from repro.core.pipeline_schedule import Schedule, as_schedule
 from repro.lang import Buffer, Func, Var, repeat_edge, select
 
 __all__ = ["make_interpolate"]
 
 
-def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
+def _breadth_first_schedule(funcs: Dict[str, Func]) -> Schedule:
+    s = Schedule()
     for name, func in funcs.items():
         if name.startswith(("down_", "interp_")) or name == "normalized":
-            func.compute_root()
+            s = s.func(func.name).compute_root()
+    return as_schedule(s)
 
 
-def _schedule_tuned(funcs: Dict[str, Func]) -> None:
-    x, y, yo, yi = Var("x"), Var("y"), Var("yo"), Var("yi")
+def _tuned_schedule(funcs: Dict[str, Func]) -> Schedule:
+    s = Schedule()
     for name, func in funcs.items():
         if name.startswith(("down_", "interp_")):
-            func.compute_root().parallel(func.args[1]).vectorize(x, 4)
-    funcs["normalized"].split(y, yo, yi, 8).parallel(yo).vectorize(x, 4)
+            s = s.func(func.name).compute_root().parallel(func.args[1]).vectorize("x", 4)
+    return as_schedule(
+        s.func("normalized").split("y", "yo", "yi", 8).parallel("yo").vectorize("x", 4))
 
 
-def _schedule_gpu(funcs: Dict[str, Func]) -> None:
-    x, y, xi, yi = Var("x"), Var("y"), Var("xi"), Var("yi")
+def _gpu_schedule(funcs: Dict[str, Func]) -> Schedule:
+    s = Schedule()
     for name, func in funcs.items():
         if name.startswith(("down_", "interp_")):
-            func.compute_root().gpu_tile(x, y, xi, yi, 8, 8)
-    funcs["normalized"].gpu_tile(x, y, xi, yi, 16, 16)
+            s = s.func(func.name).compute_root().gpu_tile("x", "y", "xi", "yi", 8, 8)
+    return as_schedule(s.func("normalized").gpu_tile("x", "y", "xi", "yi", 16, 16))
 
 
 def make_interpolate(image: np.ndarray, levels: int = 4,
@@ -107,9 +111,9 @@ def make_interpolate(image: np.ndarray, levels: int = 4,
         funcs=funcs,
         algorithm_lines=21,
         schedules={
-            "breadth_first": _schedule_breadth_first,
-            "tuned": _schedule_tuned,
-            "gpu": _schedule_gpu,
+            "breadth_first": _breadth_first_schedule(funcs),
+            "tuned": _tuned_schedule(funcs),
+            "gpu": _gpu_schedule(funcs),
         },
         default_size=[width, height, 3],
     )

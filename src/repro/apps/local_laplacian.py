@@ -16,41 +16,44 @@ from typing import Dict, List
 import numpy as np
 
 from repro.apps.common import AppPipeline
+from repro.core.pipeline_schedule import Schedule, as_schedule
 from repro.lang import Buffer, Func, Var, cast, clamp, repeat_edge
 from repro.types import Float, Int
 
 __all__ = ["make_local_laplacian"]
 
 
-def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
+def _breadth_first_schedule(funcs: Dict[str, Func]) -> Schedule:
+    s = Schedule()
     for name, func in funcs.items():
         if name.endswith("_clamped") or name == "remap_lut":
             continue
-        func.compute_root()
+        s = s.func(func.name).compute_root()
+    return as_schedule(s)
 
 
-def _schedule_tuned(funcs: Dict[str, Func]) -> None:
+def _tuned_schedule(funcs: Dict[str, Func]) -> Schedule:
     """Parallelize every pyramid stage over y and vectorize over x; fuse the
     fine levels of the output pyramid into the output loop nest."""
-    x, y, yo, yi = Var("x"), Var("y"), Var("yo"), Var("yi")
-    output = funcs["local_laplacian"]
-    output.split(y, yo, yi, 8).parallel(yo).vectorize(x, 4)
+    s = (Schedule()
+         .func("local_laplacian").split("y", "yo", "yi", 8).parallel("yo")
+         .vectorize("x", 4))
     for name, func in funcs.items():
         if name in ("local_laplacian", "remap_lut") or name.endswith("_clamped"):
             continue
         if func.dimensions() >= 2:
-            func.compute_root().parallel(func.args[1])
-    funcs["remap_lut"].compute_root()
+            s = s.func(func.name).compute_root().parallel(func.args[1])
+    return as_schedule(s.func("remap_lut").compute_root())
 
 
-def _schedule_gpu(funcs: Dict[str, Func]) -> None:
-    x, y, xi, yi = Var("x"), Var("y"), Var("xi"), Var("yi")
+def _gpu_schedule(funcs: Dict[str, Func]) -> Schedule:
+    s = Schedule()
     for name, func in funcs.items():
         if name.endswith("_clamped") or name == "remap_lut":
             continue
         if func.dimensions() >= 2:
-            func.compute_root().gpu_tile(x, y, xi, yi, 8, 8)
-    funcs["remap_lut"].compute_root()
+            s = s.func(func.name).compute_root().gpu_tile("x", "y", "xi", "yi", 8, 8)
+    return as_schedule(s.func("remap_lut").compute_root())
 
 
 def _downsample(source: Func, name: str) -> Func:
@@ -180,9 +183,9 @@ def make_local_laplacian(image: np.ndarray, levels: int = 4, intensity_levels: i
         funcs=funcs,
         algorithm_lines=52,
         schedules={
-            "breadth_first": _schedule_breadth_first,
-            "tuned": _schedule_tuned,
-            "gpu": _schedule_gpu,
+            "breadth_first": _breadth_first_schedule(funcs),
+            "tuned": _tuned_schedule(funcs),
+            "gpu": _gpu_schedule(funcs),
         },
         default_size=[width, height],
     )

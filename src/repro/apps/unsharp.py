@@ -12,22 +12,25 @@ from typing import Dict
 import numpy as np
 
 from repro.apps.common import AppPipeline
+from repro.core.pipeline_schedule import Schedule
 from repro.lang import Buffer, Func, Var, repeat_edge
 
-__all__ = ["make_unsharp"]
+__all__ = ["make_unsharp", "UNSHARP_SCHEDULES"]
 
-
-def _schedule_breadth_first(funcs: Dict[str, Func]) -> None:
-    funcs["blur_x"].compute_root()
-    funcs["blur_y"].compute_root()
-
-
-def _schedule_tuned(funcs: Dict[str, Func]) -> None:
-    sharpened = funcs["sharpened"]
-    x, y, xo, yo, xi, yi = (Var(n) for n in ("x", "y", "xo", "yo", "xi", "yi"))
-    sharpened.tile(x, y, xo, yo, xi, yi, 32, 16).parallel(yo).vectorize(xi, 4)
-    funcs["blur_y"].compute_at(sharpened, xo).vectorize(x, 4)
-    funcs["blur_x"].compute_at(sharpened, xo).vectorize(x, 4)
+#: Named schedules as first-class Schedule data.  Stage names here are the
+#: *function* names (ublur_x/ublur_y), which is how the compiler addresses them.
+UNSHARP_SCHEDULES: Dict[str, Schedule] = {
+    "breadth_first": (Schedule()
+                      .func("ublur_x").compute_root()
+                      .func("ublur_y").compute_root()
+                      .schedule),
+    "tuned": (Schedule()
+              .func("sharpened").tile("x", "y", "xo", "yo", "xi", "yi", 32, 16)
+              .parallel("yo").vectorize("xi", 4)
+              .func("ublur_y").compute_at("sharpened", "xo").vectorize("x", 4)
+              .func("ublur_x").compute_at("sharpened", "xo").vectorize("x", 4)
+              .schedule),
+}
 
 
 def make_unsharp(image: np.ndarray, strength: float = 1.5,
@@ -63,9 +66,6 @@ def make_unsharp(image: np.ndarray, strength: float = 1.5,
         output=sharpened,
         funcs=funcs,
         algorithm_lines=4,
-        schedules={
-            "breadth_first": _schedule_breadth_first,
-            "tuned": _schedule_tuned,
-        },
+        schedules=dict(UNSHARP_SCHEDULES),
         default_size=[image.shape[0], image.shape[1]],
     )

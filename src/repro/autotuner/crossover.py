@@ -4,6 +4,10 @@ Parents are selected by tournament; children are produced by two-point
 crossover with crossover points chosen at random between functions, so each
 child takes a contiguous (in a fixed function ordering) slice of one parent's
 genes and the rest from the other.
+
+Crossover operates on genomes; candidates are evaluated as immutable
+:class:`~repro.core.Schedule` values, so a child identical to a previously
+seen individual re-uses its compilation through the pipeline cache.
 """
 
 from __future__ import annotations

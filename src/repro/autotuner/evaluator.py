@@ -23,10 +23,12 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.core.pipeline_schedule import Schedule, ScheduleBuilder
 from repro.core.schedule import ScheduleError
 from repro.machine.cost_model import CostModel
 from repro.machine.profiles import MachineProfile, XEON_W3520
 from repro.pipeline import Pipeline
+from repro.runtime.target import Target
 
 __all__ = ["EvaluationResult", "CostModelEvaluator", "WallClockEvaluator", "INVALID_FITNESS"]
 
@@ -50,14 +52,19 @@ class _BaseEvaluator:
                  params: Optional[Dict[str, object]] = None,
                  inputs: Optional[Dict[str, np.ndarray]] = None,
                  verify: bool = True, tolerance: float = 1e-4,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 target=None):
         self.pipeline = pipeline
         self.sizes = list(sizes)
         self.params = params
         self.inputs = inputs
         self.verify = verify
         self.tolerance = tolerance
-        self.backend = backend
+        #: The structured execution target; ``backend`` (a name string) is the
+        #: legacy spelling and is coerced.  Resolved early so an unknown
+        #: backend fails here, not mid-search.
+        self.target = Target.resolve(target if target is not None else backend)
+        self.backend = self.target.backend
         self._reference_output: Optional[np.ndarray] = None
 
     def reference_output(self) -> np.ndarray:
@@ -65,7 +72,7 @@ class _BaseEvaluator:
         if self._reference_output is None:
             self._reference_output = self.pipeline.realize(
                 self.sizes, params=self.params, inputs=self.inputs,
-                backend=self.backend,
+                target=self.target,
             )
         return self._reference_output
 
@@ -77,7 +84,16 @@ class _BaseEvaluator:
             return False
         return bool(np.allclose(output, reference, rtol=self.tolerance, atol=self.tolerance))
 
+    def _schedule_kwargs(self, schedules) -> Dict[str, object]:
+        """Route a candidate to realize(): first-class Schedule values go
+        through the compile cache; legacy FuncSchedule dicts keep working."""
+        if isinstance(schedules, (Schedule, ScheduleBuilder)):
+            return {"schedule": schedules}
+        return {"schedules": schedules}
+
     def evaluate_schedules(self, schedules) -> EvaluationResult:
+        """Score one candidate: a :class:`Schedule` value or a legacy
+        per-function FuncSchedule override dict."""
         raise NotImplementedError
 
 
@@ -99,8 +115,9 @@ class CostModelEvaluator(_BaseEvaluator):
         try:
             model = CostModel(self.profile)
             output = self.pipeline.realize(
-                self.sizes, schedules=schedules, listeners=[model],
-                params=self.params, inputs=self.inputs, backend=self.backend,
+                self.sizes, listeners=[model],
+                params=self.params, inputs=self.inputs, target=self.target,
+                **self._schedule_kwargs(schedules),
             )
             if not self._check(output):
                 return EvaluationResult(INVALID_FITNESS, False, "output mismatch")
@@ -113,7 +130,10 @@ class WallClockEvaluator(_BaseEvaluator):
     """Scores candidates by wall-clock time (median of ``repeats`` runs).
 
     Defaults to the vectorized NumPy backend; pass ``backend="interp"`` to
-    time the scalar interpreter instead.
+    time the scalar interpreter instead.  Compilation happens *outside* the
+    timed region (matching the paper, which measures run time of compiled
+    programs), so a candidate's fitness is independent of whether its
+    compilation was already cached.
     """
 
     def __init__(self, pipeline: Pipeline, sizes: Sequence[int], repeats: int = 1, **kwargs):
@@ -123,14 +143,13 @@ class WallClockEvaluator(_BaseEvaluator):
 
     def evaluate_schedules(self, schedules) -> EvaluationResult:
         try:
+            compiled = self.pipeline.compile(
+                self.sizes, target=self.target, **self._schedule_kwargs(schedules))
             times = []
             output = None
             for _ in range(self.repeats):
                 start = time.perf_counter()
-                output = self.pipeline.realize(
-                    self.sizes, schedules=schedules,
-                    params=self.params, inputs=self.inputs, backend=self.backend,
-                )
+                output = compiled.run(params=self.params, inputs=self.inputs)
                 times.append(time.perf_counter() - start)
             if not self._check(output):
                 return EvaluationResult(INVALID_FITNESS, False, "output mismatch")

@@ -60,8 +60,18 @@ class AutotuneResult:
     evaluations: int = 0
     invalid_candidates: int = 0
 
+    def best_schedule(self, pipeline: Pipeline):
+        """The winning genome as a first-class :class:`~repro.core.Schedule`.
+
+        The returned value is immutable and serializable (JSON), so a tuning
+        run's result can be stored and shipped separately from the algorithm,
+        then replayed with ``pipeline.compile(schedule=result_schedule)``.
+        """
+        env = build_environment([pipeline.output_function])
+        return self.best_genome.to_schedule(env, pipeline.output_function.name)
+
     def best_schedules(self, pipeline: Pipeline) -> Dict[str, object]:
-        """Materialize the winning genome as schedule overrides for the compiler."""
+        """Materialize the winning genome as legacy per-function overrides."""
         env = build_environment([pipeline.output_function])
         return self.best_genome.to_schedules(env, pipeline.output_function.name)
 
@@ -105,11 +115,14 @@ class Autotuner:
     def _evaluate(self, genome: ScheduleGenome) -> float:
         self.evaluations += 1
         try:
-            schedules = genome.to_schedules(self.env, self.output_name)
+            # Materialize as a first-class Schedule value: equal genomes get
+            # equal digests, so repeated evaluations hit the pipeline's
+            # compilation cache instead of re-lowering every generation.
+            schedule = genome.to_schedule(self.env, self.output_name)
         except (ScheduleError, ValueError) as _error:
             self.invalid_candidates += 1
             return INVALID_FITNESS
-        result = self.evaluator.evaluate_schedules(schedules)
+        result = self.evaluator.evaluate_schedules(schedule)
         if not result.valid:
             self.invalid_candidates += 1
         return result.fitness

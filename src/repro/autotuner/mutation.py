@@ -8,6 +8,10 @@ higher probability: a *loop fusion* rule that tiles the chosen function and
 recursively schedules its callees under the tile, and a *template* rule that
 replaces the schedule with one of the common patterns the paper samples from a
 text file.
+
+Mutation operates on genomes; the driver materializes each candidate as an
+immutable :class:`~repro.core.Schedule` value (``genome.to_schedule``) for
+evaluation, so equal offspring share one compilation via the pipeline cache.
 """
 
 from __future__ import annotations

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.function import Function
 from repro.core.loop_level import LoopLevel
+from repro.core.pipeline_schedule import Schedule
 from repro.core.schedule import FuncSchedule, ScheduleError
 
 __all__ = ["FunctionGene", "ScheduleGenome", "POWER_OF_TWO_SIZES", "MAX_DOMAIN_OPS"]
@@ -87,6 +88,21 @@ class ScheduleGenome:
             _apply_call_schedule(schedule, gene.call_schedule, func, output_name)
             schedules[name] = schedule
         return schedules
+
+    def to_schedule(self, env: Dict[str, Function], output_name: str) -> Schedule:
+        """Materialize the genome as a first-class :class:`Schedule` value.
+
+        The result is immutable, serializable and digest-keyed, so the
+        evaluator's repeated realizations of equal genomes (elites, duplicate
+        offspring) hit the pipeline's compilation cache instead of
+        re-lowering.  Functions of ``env`` the genome does not cover keep
+        their current schedule, matching :meth:`to_schedules` semantics.
+        """
+        materialized = self.to_schedules(env, output_name)
+        for name, func in env.items():
+            if name not in materialized and func.schedule is not None:
+                materialized[name] = func.schedule
+        return Schedule.from_func_schedules(materialized)
 
     def describe(self) -> str:
         lines = []

@@ -12,6 +12,7 @@ from repro.core.dims import Dim, ForType
 from repro.core.split import Split, TailStrategy
 from repro.core.loop_level import LoopLevel
 from repro.core.schedule import FuncSchedule
+from repro.core.pipeline_schedule import Schedule, ScheduleBuilder, as_schedule
 from repro.core.definition import Definition, ReductionDomain, ReductionVariable, UpdateDefinition
 from repro.core.function import Function
 
@@ -22,6 +23,9 @@ __all__ = [
     "TailStrategy",
     "LoopLevel",
     "FuncSchedule",
+    "Schedule",
+    "ScheduleBuilder",
+    "as_schedule",
     "Definition",
     "ReductionDomain",
     "ReductionVariable",

@@ -32,6 +32,9 @@ class Function:
         self.updates: List[UpdateDefinition] = []
         self.output_type: Optional[Type] = None
         self.schedule: Optional[FuncSchedule] = None
+        #: Bumped on every (re)definition; the compilation cache keys on it so
+        #: algorithm changes between realizations are never served stale.
+        self.definition_version: int = 0
 
     # ------------------------------------------------------------------
     # definition
@@ -47,6 +50,7 @@ class Function:
         self.definition = Definition(args, value)
         self.output_type = value.type
         self.schedule = FuncSchedule(args)
+        self.definition_version += 1
 
     def define_update(self, args: Sequence[E.Expr], value: E.Expr,
                       rdom: Optional[ReductionDomain] = None) -> None:
@@ -65,6 +69,7 @@ class Function:
         if value.type != self.output_type:
             value = op.cast(self.output_type, value)
         self.updates.append(UpdateDefinition(args, value, rdom))
+        self.definition_version += 1
 
     # ------------------------------------------------------------------
     # queries

@@ -281,11 +281,25 @@ class Func:
         """Compile and run the pipeline, returning the output as a numpy array.
 
         ``sizes`` gives the extent of each output dimension (width, height, ...).
-        Keyword arguments are forwarded to :class:`repro.pipeline.Pipeline.realize`.
+        Keyword arguments are forwarded to :class:`repro.pipeline.Pipeline.realize`
+        (notably ``schedule=`` for a :class:`~repro.core.Schedule` value and
+        ``target=`` for a :class:`~repro.runtime.Target` / backend name).
         """
         from repro.pipeline import Pipeline
 
         return Pipeline(self).realize(sizes, **kwargs)
+
+    def compile(self, sizes: Sequence[int], schedule=None, target=None, **kwargs):
+        """Compile (without running) the pipeline rooted at this Func.
+
+        Returns a reusable :class:`~repro.pipeline.CompiledPipeline`; see
+        :meth:`repro.pipeline.Pipeline.compile`.  Note the returned object is
+        compiled from a fresh Pipeline, so its cache is not shared — hold on
+        to a :class:`~repro.pipeline.Pipeline` for compile-once/run-many use.
+        """
+        from repro.pipeline import Pipeline
+
+        return Pipeline(self).compile(sizes, schedule=schedule, target=target, **kwargs)
 
     def compile_to_stmt(self, sizes: Optional[Sequence[int]] = None):
         """Lower the pipeline and return the IR statement (for inspection/tests)."""

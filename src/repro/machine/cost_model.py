@@ -179,22 +179,32 @@ class CostModel(ExecutionListener):
 
 def estimate_cost(pipeline, sizes: Sequence[int],
                   schedules=None, options=None,
-                  profile: MachineProfile = XEON_W3520,
-                  params=None, inputs=None) -> CostReport:
+                  profile: Optional[MachineProfile] = None,
+                  params=None, inputs=None,
+                  schedule=None, target=None) -> CostReport:
     """Run ``pipeline`` at ``sizes`` under the cost model and return the report.
 
     ``pipeline`` is a :class:`repro.pipeline.Pipeline` (or an output Func,
-    which is wrapped).  This is the evaluation function used by the autotuner
+    which is wrapped).  ``schedule`` optionally applies a first-class
+    :class:`~repro.core.Schedule` non-destructively; ``target`` (a
+    :class:`~repro.runtime.Target`) selects the modeled machine via its
+    ``profile``/``vector_width``/``threads`` fields when ``profile`` is not
+    given explicitly.  This is the evaluation function used by the autotuner
     and the Figure 7/8 benchmarks.
     """
     from repro.pipeline import Pipeline
+    from repro.runtime.target import Target
 
     if not isinstance(pipeline, Pipeline):
         pipeline = Pipeline(pipeline)
+    if profile is None:
+        profile = Target.resolve(target).machine_profile() if target is not None \
+            else XEON_W3520
     model = CostModel(profile)
-    # Pinned to the interpreter: the cost model charges per-operation events,
-    # which the batched NumPy backend does not report exactly.
-    pipeline.realize(sizes, schedules=schedules, options=options,
+    # Pinned to the interpreter backend regardless of the target's backend:
+    # the cost model charges per-operation events, which the batched NumPy
+    # backend does not report exactly.
+    pipeline.realize(sizes, schedules=schedules, schedule=schedule, options=options,
                      listeners=[model], params=params, inputs=inputs,
                      backend="interp")
     return model.report()

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MachineProfile", "XEON_W3520", "GPU_LIKE", "SMALL_CACHE_CPU"]
+__all__ = ["MachineProfile", "XEON_W3520", "GPU_LIKE", "SMALL_CACHE_CPU",
+           "PROFILES", "get_profile"]
 
 
 @dataclass(frozen=True)
@@ -94,3 +95,18 @@ SMALL_CACHE_CPU = MachineProfile(
     parallel_task_overhead=1000.0,
     latency_hiding=0.2,
 )
+
+
+#: All named profiles, addressable by :attr:`MachineProfile.name` (the form a
+#: serialized :class:`~repro.runtime.target.Target` stores).
+PROFILES = {p.name: p for p in (XEON_W3520, GPU_LIKE, SMALL_CACHE_CPU)}
+
+
+def get_profile(name: str) -> MachineProfile:
+    """Look up a machine profile by name, with a helpful error."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine profile {name!r}; available: {', '.join(sorted(PROFILES))}"
+        ) from None

@@ -130,23 +130,27 @@ def _indices(index):
 
 def measure_tradeoffs(pipeline, sizes: Sequence[int], schedules=None, options=None,
                       params=None, inputs=None,
-                      baseline_ops: Optional[int] = None) -> TradeoffReport:
+                      baseline_ops: Optional[int] = None,
+                      schedule=None) -> TradeoffReport:
     """Run a pipeline under the trade-off metrics listener and return the report.
 
-    ``baseline_ops`` (the operation count of the breadth-first schedule) turns
-    the absolute operation count into the work-amplification column of Figure 3.
+    ``schedule`` optionally applies a first-class :class:`~repro.core.Schedule`
+    non-destructively, so one un-mutated algorithm graph can be measured under
+    every candidate schedule.  ``baseline_ops`` (the operation count of the
+    breadth-first schedule) turns the absolute operation count into the
+    work-amplification column of Figure 3.
     """
     from repro.pipeline import Pipeline
 
     if not isinstance(pipeline, Pipeline):
         pipeline = Pipeline(pipeline)
-    lowered = pipeline.lower(schedules=schedules, options=options)
-    metrics = TradeoffMetrics(serialized_loops=set(lowered.slides.values()))
     # Pinned to the interpreter: these metrics consume the exact per-operation
-    # event stream, which the batched NumPy backend does not report.
-    pipeline.realize(sizes, schedules=schedules, options=options,
-                     listeners=[metrics], params=params, inputs=inputs,
-                     backend="interp")
+    # event stream, which the batched NumPy backend does not report.  One
+    # (cached) compilation supplies both the slide set and the execution.
+    compiled = pipeline.compile(sizes, schedules=schedules, schedule=schedule,
+                                options=options, target="interp")
+    metrics = TradeoffMetrics(serialized_loops=set(compiled.lowered.slides.values()))
+    compiled.run(listeners=[metrics], params=params, inputs=inputs)
     report = metrics.report()
     if baseline_ops:
         report.work_amplification = report.total_ops / baseline_ops

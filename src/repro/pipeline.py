@@ -1,34 +1,49 @@
-"""The user-facing pipeline driver.
+"""The user-facing pipeline driver: compile once, run many.
 
 A :class:`Pipeline` ties together an output :class:`~repro.lang.Func`, the
-compiler, and a backend: it lowers the pipeline (optionally with schedule
-overrides supplied by the autotuner), runs it through an execution backend
-over numpy buffers, and can attach instrumentation listeners (counters, cache
-simulator, cost model) to the execution.
+compiler, and a backend.  The primary entry point is :meth:`Pipeline.compile`:
 
-Backends are selected by name (``backend="interp"`` for the scalar
-interpreter, ``backend="numpy"`` for the vectorized NumPy backend; the
-``REPRO_BACKEND`` environment variable overrides the default).  Every backend
-must produce bit-identical output for the same pipeline and schedule.
+    pipeline = Pipeline(blur_y)
+    compiled = pipeline.compile(sizes=[1024, 768], schedule=s, target="numpy")
+    image = compiled()          # run; repeat without re-lowering
+
+``schedule`` is a first-class :class:`~repro.core.Schedule` value applied
+*non-destructively* — the algorithm's Funcs are never mutated, so one graph
+can be realized under many schedules concurrently.  ``target`` is a
+:class:`~repro.runtime.Target` (a backend name string or the
+``REPRO_BACKEND`` environment variable still work and are coerced).
+
+Compiled pipelines are cached per Pipeline in a bounded LRU keyed by
+(schedule digest, sizes, target, lowering options): repeated
+:meth:`realize` calls — tests, benchmarks, autotuner generations — hit the
+cache and skip lowering entirely.  :meth:`Pipeline.cache_info` exposes the
+hit/miss counters; every backend must produce bit-identical output for the
+same pipeline and schedule.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from collections import OrderedDict, namedtuple
+from dataclasses import astuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.call_graph import build_environment
 from repro.compiler.lower import LoweredPipeline, LoweringOptions, lower
 from repro.core.function import Function
+from repro.core.pipeline_schedule import Schedule, as_schedule
 from repro.core.schedule import FuncSchedule
 from repro.ir import expr as E
 from repro.ir.visitor import IRVisitor
 from repro.runtime.backend import create_executor
 from repro.runtime.counters import Counters, ExecutionListener
+from repro.runtime.target import Target
 
-__all__ = ["Pipeline", "RealizationReport"]
+__all__ = ["Pipeline", "CompiledPipeline", "RealizationReport", "CacheInfo"]
+
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 
 
 class _ImageCollector(IRVisitor):
@@ -55,76 +70,75 @@ class RealizationReport:
         return f"RealizationReport(shape={self.output.shape}, {self.counters.summary()})"
 
 
-class Pipeline:
-    """A compiled-on-demand image processing pipeline rooted at one output Func."""
+class CompiledPipeline:
+    """A reusable compiled realization of one pipeline.
 
-    def __init__(self, output):
-        # Accept either a lang.Func or a core Function.
-        self.output_function: Function = getattr(output, "function", output)
-        self._lowered_cache: Dict[object, LoweredPipeline] = {}
+    Holds the lowered program for a fixed (schedule, sizes, target, options)
+    key; calling it executes the program against fresh buffers.  Obtained
+    from :meth:`Pipeline.compile`; safe to call repeatedly and to hold on to
+    — it never observes later mutations of the algorithm's Funcs.
+    """
 
-    # ------------------------------------------------------------------
-    # compilation
-    # ------------------------------------------------------------------
-    def lower(self, sizes: Optional[Sequence[int]] = None,
-              schedules: Optional[Dict[str, FuncSchedule]] = None,
-              options: Optional[LoweringOptions] = None) -> LoweredPipeline:
-        """Lower the pipeline.
+    def __init__(self, pipeline: "Pipeline", lowered: LoweredPipeline,
+                 sizes: Sequence[int], schedule: Schedule, target: Target,
+                 options: Optional[LoweringOptions], cache_key=None,
+                 images: Optional[Dict[str, object]] = None):
+        self.pipeline = pipeline
+        self.lowered = lowered
+        self.sizes = [int(s) for s in sizes]
+        #: The Schedule this program was lowered under (captured, immutable).
+        self.schedule = schedule
+        self.target = target
+        self.options = options
+        self._cache_key = cache_key
+        #: The input-image map (name -> Buffer/ImageParam) snapshotted at
+        #: compile time, so redefining a stage afterwards cannot change which
+        #: images this program binds.  The *data* is read at run time
+        #: (in-place pixel updates are visible); a shape change is caught by
+        #: the bind-time validation below, and fresh compile()/realize()
+        #: calls recompile automatically because image shapes key the cache.
+        self._images = dict(images if images is not None
+                            else pipeline._collect_images())
+        output = lowered.output
+        if len(self.sizes) != output.dimensions():
+            raise ValueError(
+                f"output {output.name!r} has {output.dimensions()} dimensions, "
+                f"compile() was given {len(self.sizes)} sizes"
+            )
 
-        With ``sizes``, the compiler specializes the loop nest for that output
-        region (all inferred bounds fold to constants); without, bounds remain
-        symbolic and are bound by the runtime.
-        """
-        output_bounds = None
-        if sizes is not None:
-            output_bounds = [(0, int(size)) for size in sizes]
-        return lower(self.output_function, schedule_overrides=schedules, options=options,
-                     output_bounds=output_bounds)
+    @property
+    def output_function(self) -> Function:
+        return self.lowered.output
+
+    def key(self):
+        """The compilation-cache key this entry is stored under."""
+        return self._cache_key
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def realize(self, sizes: Sequence[int],
-                schedules: Optional[Dict[str, FuncSchedule]] = None,
-                options: Optional[LoweringOptions] = None,
-                listeners: Iterable[ExecutionListener] = (),
-                params: Optional[Dict[str, object]] = None,
-                inputs: Optional[Dict[str, np.ndarray]] = None,
-                backend: Optional[str] = None) -> np.ndarray:
-        """Compile and run the pipeline, returning the output region as a numpy array.
+    def __call__(self, params: Optional[Dict[str, object]] = None,
+                 inputs: Optional[Dict[str, np.ndarray]] = None) -> np.ndarray:
+        return self.run(params=params, inputs=inputs)
 
-        ``sizes`` gives the extent of each output dimension.  ``params`` binds
-        scalar parameters by name; ``inputs`` binds image parameters by name
-        (concrete :class:`~repro.lang.Buffer` inputs are found automatically).
-        ``backend`` selects the execution backend (``"interp"`` or
-        ``"numpy"``; default from the ``REPRO_BACKEND`` environment variable,
-        else the interpreter).
-        """
-        report = self.realize_with_report(sizes, schedules=schedules, options=options,
-                                          listeners=listeners, params=params, inputs=inputs,
-                                          backend=backend)
-        return report.output
+    def run(self, params: Optional[Dict[str, object]] = None,
+            inputs: Optional[Dict[str, np.ndarray]] = None,
+            listeners: Iterable[ExecutionListener] = ()) -> np.ndarray:
+        """Execute the compiled program, returning the output array."""
+        return self.run_with_report(params=params, inputs=inputs,
+                                    listeners=listeners).output
 
-    def realize_with_report(self, sizes: Sequence[int],
-                            schedules: Optional[Dict[str, FuncSchedule]] = None,
-                            options: Optional[LoweringOptions] = None,
-                            listeners: Iterable[ExecutionListener] = (),
-                            params: Optional[Dict[str, object]] = None,
-                            inputs: Optional[Dict[str, np.ndarray]] = None,
-                            backend: Optional[str] = None) -> RealizationReport:
-        """Like :meth:`realize`, but also returns execution counters and listeners."""
-        sizes = [int(s) for s in sizes]
-        lowered = self.lower(sizes=sizes, schedules=schedules, options=options)
-        output = lowered.output
-        if len(sizes) != output.dimensions():
-            raise ValueError(
-                f"output {output.name!r} has {output.dimensions()} dimensions, "
-                f"realize() was given {len(sizes)} sizes"
-            )
+    def run_with_report(self, params: Optional[Dict[str, object]] = None,
+                        inputs: Optional[Dict[str, np.ndarray]] = None,
+                        listeners: Iterable[ExecutionListener] = ()) -> RealizationReport:
+        """Execute and also return execution counters and listeners."""
+        output = self.lowered.output
+        sizes = self.sizes
 
         counters = Counters()
         all_listeners: List[ExecutionListener] = [counters] + list(listeners)
-        executor = create_executor(lowered, listeners=all_listeners, backend=backend)
+        executor = create_executor(self.lowered, listeners=all_listeners,
+                                   target=self.target)
 
         # Bind the requested output region.
         rounded_shape: List[int] = []
@@ -139,18 +153,19 @@ class Pipeline:
         for name, value in (params or {}).items():
             executor.bind(name, value)
 
-        # Bind input images: concrete buffers referenced by the algorithm, plus
-        # any explicitly supplied arrays (for ImageParams).
-        for name, target in self._collect_images().items():
+        # Bind input images: concrete buffers referenced by the algorithm
+        # (map snapshotted at compile time), plus any explicitly supplied
+        # arrays (for ImageParams).
+        for name, image_target in self._images.items():
             if inputs is not None and name in inputs:
-                executor.bind_input(name, np.asarray(inputs[name]))
-            elif hasattr(target, "array"):
-                executor.bind_input(name, target.array)
-            elif hasattr(target, "get"):
-                executor.bind_input(name, target.get().array)
+                self._bind_image(executor, name, np.asarray(inputs[name]))
+            else:
+                array = _image_array(image_target)
+                if array is not None:
+                    self._bind_image(executor, name, array)
         for name, array in (inputs or {}).items():
             if name not in executor.buffers:
-                executor.bind_input(name, np.asarray(array))
+                self._bind_image(executor, name, np.asarray(array))
 
         # Pre-allocate the output buffer so it survives the Allocate scope.
         out_dtype = output.output_type.to_numpy_dtype()
@@ -163,6 +178,237 @@ class Pipeline:
         result = flat_output.reshape(rounded_shape, order="F")
         window = tuple(slice(0, s) for s in sizes)
         return RealizationReport(result[window].copy(), counters, all_listeners)
+
+    def _bind_image(self, executor, name: str, array: np.ndarray) -> None:
+        """Bind one input image, checking it still matches the compiled layout.
+
+        Lowering bakes bound images' shapes into constant strides; running a
+        held CompiledPipeline after rebinding a differently-shaped image would
+        silently misread memory, so mismatches fail loudly here.
+        """
+        from repro.ir.op import const_value
+
+        layout = self.lowered.image_layouts.get(name)
+        if layout is not None:
+            baked = [const_value(extent) for extent in layout.extents]
+            if all(b is not None for b in baked) and \
+                    tuple(int(b) for b in baked) != tuple(array.shape):
+                raise ValueError(
+                    f"input image {name!r} has shape {tuple(array.shape)}, but this "
+                    f"CompiledPipeline was compiled for shape {tuple(int(b) for b in baked)}; "
+                    "recompile (Pipeline.compile / realize re-key the cache on image "
+                    "shapes automatically)"
+                )
+        executor.bind_input(name, array)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CompiledPipeline({self.lowered.output.name!r}, sizes={self.sizes}, "
+                f"target={self.target}, schedule={self.schedule.digest()})")
+
+
+def _options_key(options: Optional[LoweringOptions]):
+    return astuple(options) if options is not None else None
+
+
+def _algorithm_key(env: Dict[str, Function]):
+    """Fingerprint of the algorithm graph: every reachable function's name and
+    definition version.  Redefining a stage (e.g. adding an update) between
+    realizations changes this key, so cached compilations never go stale."""
+    return tuple(sorted((name, func.definition_version) for name, func in env.items()))
+
+
+def _image_array(image_target) -> Optional[np.ndarray]:
+    """The ndarray currently bound to a Buffer / ImageParam (None if unbound)."""
+    if hasattr(image_target, "array"):
+        return image_target.array
+    if hasattr(image_target, "is_bound"):
+        return image_target.get().array if image_target.is_bound() else None
+    if hasattr(image_target, "get"):
+        return image_target.get().array
+    return None
+
+
+def _images_key(images: Dict[str, object]):
+    """Fingerprint of the bound input images.  Lowering bakes each bound
+    image's shape into constant strides, so rebinding a differently-shaped
+    image must miss the cache and recompile."""
+    key = []
+    for name in sorted(images):
+        array = _image_array(images[name])
+        key.append((name, None) if array is None
+                   else (name, tuple(array.shape), str(array.dtype)))
+    return tuple(key)
+
+
+def _cache_key(schedule: Schedule, sizes: Optional[Sequence[int]],
+               target: Target, options: Optional[LoweringOptions],
+               env: Dict[str, Function], images: Dict[str, object]):
+    sizes_key = tuple(int(s) for s in sizes) if sizes is not None else None
+    return (schedule.digest(), sizes_key, target.key(), _options_key(options),
+            _algorithm_key(env), _images_key(images))
+
+
+class Pipeline:
+    """A compile-once / run-many image processing pipeline rooted at one Func."""
+
+    #: Default bound on cached compilations per Pipeline (LRU eviction).
+    DEFAULT_CACHE_SIZE = 64
+
+    def __init__(self, output, cache_size: Optional[int] = None):
+        # Accept either a lang.Func or a core Function.
+        self.output_function: Function = getattr(output, "function", output)
+        self._cache_maxsize = int(cache_size if cache_size is not None
+                                  else self.DEFAULT_CACHE_SIZE)
+        self._compile_cache: "OrderedDict[tuple, CompiledPipeline]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(self, sizes: Optional[Sequence[int]] = None,
+                schedule=None, target=None,
+                options: Optional[LoweringOptions] = None,
+                schedules: Optional[Dict[str, FuncSchedule]] = None) -> CompiledPipeline:
+        """Compile the pipeline under a schedule and target, with caching.
+
+        ``schedule`` is anything :func:`~repro.core.as_schedule` accepts (a
+        :class:`Schedule`, a fluent builder chain, a serialized dict or JSON
+        string); it is applied non-destructively — the algorithm's Funcs keep
+        their own schedules.  When omitted, the Funcs' current (possibly
+        mutated) schedules are captured and used.  ``schedules`` is the
+        legacy per-function override dict; it composes with the Funcs'
+        current schedules exactly as before.
+
+        Results are cached per Pipeline in a bounded LRU keyed by (schedule
+        digest, sizes, target, options); a hit skips all lowering work.
+        """
+        if schedule is not None and schedules is not None:
+            raise ValueError("pass either schedule= (a Schedule value) or "
+                             "schedules= (legacy FuncSchedule overrides), not both")
+        if sizes is None:
+            raise ValueError("compile() requires concrete output sizes; "
+                             "use lower() for a symbolic (size-generic) lowering")
+        target = Target.resolve(target)
+        env = self.functions()
+        explicit = schedule is not None
+        if explicit:
+            sched = as_schedule(schedule)
+        elif schedules is not None:
+            # Legacy override dicts compose with the Funcs' current
+            # schedules; capture the merged view so the cache key is exact
+            # and application stays non-destructive.
+            merged: Dict[str, FuncSchedule] = {}
+            for name, func in env.items():
+                if name in schedules:
+                    merged[name] = schedules[name]
+                elif func.schedule is not None:
+                    merged[name] = func.schedule
+            sched = Schedule.from_func_schedules(merged)
+            explicit = True
+        else:
+            # Capture the Funcs' current schedules: together with the
+            # algorithm fingerprint this keys the cache, so in-place
+            # re-scheduling or re-definition between calls is never stale.
+            sched = Schedule.from_funcs(env.values())
+
+        images = self._collect_images()
+        key = _cache_key(sched, sizes, target, options, env, images)
+        cached = self._compile_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self._compile_cache.move_to_end(key)
+            return cached
+        self._cache_misses += 1
+
+        overrides = sched.func_schedules(env) if explicit else None
+        lowered = self._lower(sizes=sizes, schedules=overrides, options=options)
+        compiled = CompiledPipeline(self, lowered, sizes, sched, target, options,
+                                    cache_key=key, images=images)
+        self._compile_cache[key] = compiled
+        while len(self._compile_cache) > self._cache_maxsize:
+            self._compile_cache.popitem(last=False)
+        return compiled
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/occupancy counters of the compilation cache."""
+        return CacheInfo(self._cache_hits, self._cache_misses,
+                         self._cache_maxsize, len(self._compile_cache))
+
+    def cache_clear(self) -> None:
+        """Drop all cached compilations (counters reset too)."""
+        self._compile_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def _lower(self, sizes: Optional[Sequence[int]] = None,
+               schedules: Optional[Dict[str, FuncSchedule]] = None,
+               options: Optional[LoweringOptions] = None) -> LoweredPipeline:
+        output_bounds = None
+        if sizes is not None:
+            output_bounds = [(0, int(size)) for size in sizes]
+        return lower(self.output_function, schedule_overrides=schedules, options=options,
+                     output_bounds=output_bounds)
+
+    def lower(self, sizes: Optional[Sequence[int]] = None,
+              schedules: Optional[Dict[str, FuncSchedule]] = None,
+              options: Optional[LoweringOptions] = None,
+              schedule=None) -> LoweredPipeline:
+        """Lower the pipeline (uncached; prefer :meth:`compile`).
+
+        With ``sizes``, the compiler specializes the loop nest for that output
+        region (all inferred bounds fold to constants); without, bounds remain
+        symbolic and are bound by the runtime.  ``schedule`` optionally
+        applies a :class:`Schedule` value non-destructively.
+        """
+        if schedule is not None:
+            if schedules is not None:
+                raise ValueError("pass either schedule= or schedules=, not both")
+            schedules = as_schedule(schedule).func_schedules(self.functions())
+        return self._lower(sizes=sizes, schedules=schedules, options=options)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def realize(self, sizes: Sequence[int],
+                schedules: Optional[Dict[str, FuncSchedule]] = None,
+                options: Optional[LoweringOptions] = None,
+                listeners: Iterable[ExecutionListener] = (),
+                params: Optional[Dict[str, object]] = None,
+                inputs: Optional[Dict[str, np.ndarray]] = None,
+                backend: Optional[str] = None,
+                schedule=None, target=None) -> np.ndarray:
+        """Compile (cached) and run, returning the output as a numpy array.
+
+        ``sizes`` gives the extent of each output dimension.  ``params`` binds
+        scalar parameters by name; ``inputs`` binds image parameters by name
+        (concrete :class:`~repro.lang.Buffer` inputs are found automatically).
+        ``schedule``/``target`` select a first-class Schedule and Target;
+        ``backend`` (a name string) and ``schedules`` (per-function override
+        dicts) are the legacy forms and still accepted.
+        """
+        report = self.realize_with_report(sizes, schedules=schedules, options=options,
+                                          listeners=listeners, params=params, inputs=inputs,
+                                          backend=backend, schedule=schedule, target=target)
+        return report.output
+
+    def realize_with_report(self, sizes: Sequence[int],
+                            schedules: Optional[Dict[str, FuncSchedule]] = None,
+                            options: Optional[LoweringOptions] = None,
+                            listeners: Iterable[ExecutionListener] = (),
+                            params: Optional[Dict[str, object]] = None,
+                            inputs: Optional[Dict[str, np.ndarray]] = None,
+                            backend: Optional[str] = None,
+                            schedule=None, target=None) -> RealizationReport:
+        """Like :meth:`realize`, but also returns execution counters and listeners."""
+        if target is None:
+            target = backend  # legacy string form; Target.resolve coerces
+        elif backend is not None and Target.resolve(target).backend != \
+                Target.resolve(backend).backend:
+            raise ValueError(f"conflicting backend={backend!r} and target={target!r}")
+        compiled = self.compile(sizes=[int(s) for s in sizes], schedule=schedule,
+                                target=target, options=options, schedules=schedules)
+        return compiled.run_with_report(params=params, inputs=inputs, listeners=listeners)
 
     # ------------------------------------------------------------------
     # helpers
@@ -179,8 +425,9 @@ class Pipeline:
         """All functions reachable from the output, keyed by name."""
         return build_environment([self.output_function])
 
-    def print_loop_nest(self, schedules: Optional[Dict[str, FuncSchedule]] = None) -> str:
+    def print_loop_nest(self, schedules: Optional[Dict[str, FuncSchedule]] = None,
+                        schedule=None) -> str:
         """A human-readable rendering of the synthesized loop nest."""
         from repro.ir.printer import pretty_print
 
-        return pretty_print(self.lower(schedules=schedules).stmt)
+        return pretty_print(self.lower(schedules=schedules, schedule=schedule).stmt)

@@ -14,9 +14,11 @@ from repro.runtime.backend import (
     get_backend,
     register_backend,
     resolve_backend_name,
+    validate_backend_name,
 )
 from repro.runtime.counters import Counters, ExecutionListener
 from repro.runtime.executor import ExecutionError, Executor
+from repro.runtime.target import Target, as_target
 
 __all__ = [
     "Executor",
@@ -25,9 +27,12 @@ __all__ = [
     "ExecutionListener",
     "Backend",
     "BackendFactory",
+    "Target",
+    "as_target",
     "backend_names",
     "create_executor",
     "get_backend",
     "register_backend",
     "resolve_backend_name",
+    "validate_backend_name",
 ]

@@ -35,6 +35,7 @@ __all__ = [
     "get_backend",
     "backend_names",
     "resolve_backend_name",
+    "validate_backend_name",
     "create_executor",
     "DEFAULT_BACKEND",
     "BACKEND_ENV_VAR",
@@ -94,20 +95,38 @@ def resolve_backend_name(name: Optional[str] = None) -> str:
     return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
 
 
+def validate_backend_name(name: str) -> str:
+    """Check a backend name against the registry, with a clear early error.
+
+    :class:`~repro.runtime.target.Target` calls this at construction time, so
+    an unknown ``backend=`` argument or a bad ``REPRO_BACKEND`` value fails
+    before any lowering work happens, listing the registered backends.
+    """
+    _ensure_builtin_backends()
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; available backends: {', '.join(backend_names())} "
+            f"(selected via backend=/Target(backend=...) or the {BACKEND_ENV_VAR} "
+            "environment variable)"
+        )
+    return name
+
+
 def get_backend(name: Optional[str] = None) -> BackendFactory:
     """Look up a backend factory by (resolved) name."""
     _ensure_builtin_backends()
-    resolved = resolve_backend_name(name)
-    try:
-        return _BACKENDS[resolved]
-    except KeyError:
-        raise ValueError(
-            f"unknown backend {resolved!r}; available: {', '.join(backend_names())}"
-        ) from None
+    return _BACKENDS[validate_backend_name(resolve_backend_name(name))]
 
 
 def create_executor(lowered: LoweredPipeline,
                     listeners: Iterable[ExecutionListener] = (),
-                    backend: Optional[str] = None) -> Backend:
-    """Instantiate the named backend over a lowered pipeline."""
+                    backend: Optional[str] = None,
+                    target=None) -> Backend:
+    """Instantiate a backend over a lowered pipeline.
+
+    ``target`` (a :class:`~repro.runtime.target.Target`, or anything its
+    ``resolve`` accepts) takes precedence over the legacy ``backend`` string.
+    """
+    if target is not None:
+        backend = getattr(target, "backend", None) or str(target)
     return get_backend(backend)(lowered, listeners=listeners)

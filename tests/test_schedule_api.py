@@ -1,0 +1,372 @@
+"""The first-class Schedule / Target / CompiledPipeline API.
+
+Covers the compile-once redesign: Schedule as an immutable serializable
+value, Target as a validated structured descriptor, the bounded compilation
+cache (including the zero-relowering guarantee), non-destructive schedule
+application, and the apply_schedule double-application regression.
+"""
+
+import numpy as np
+import pytest
+
+import repro.pipeline as pipeline_module
+from repro import CompiledPipeline, Pipeline, Schedule, Target, as_schedule
+from repro.apps import BLUR_SCHEDULES, make_blur
+from repro.core.pipeline_schedule import ScheduleBuilder
+from repro.core.schedule import ScheduleError
+from repro.runtime.backend import BACKEND_ENV_VAR, backend_names
+
+
+@pytest.fixture()
+def blur_image():
+    return np.random.default_rng(7).random((32, 24)).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Schedule as a value
+# ---------------------------------------------------------------------------
+
+class TestScheduleValue:
+    def test_fluent_build(self):
+        s = (Schedule()
+             .func("blur_y").tile("x", "y", "xo", "yo", "xi", "yi", 32, 32).parallel("yo")
+             .func("blur_x").compute_at("blur_y", "xo"))
+        assert isinstance(s, ScheduleBuilder)
+        sched = as_schedule(s)
+        assert sched.funcs() == ("blur_x", "blur_y")
+        assert sched.directives("blur_y")[0][0] == "tile"
+        assert sched.directives("blur_x") == (("compute_at", "blur_y", "xo"),)
+
+    def test_immutability(self):
+        s = Schedule()
+        with pytest.raises(AttributeError):
+            s._funcs = {}
+        s2 = s.with_directives("f", ("compute_root",))
+        assert s.is_empty() and not s2.is_empty()
+
+    def test_dict_json_round_trip_and_digest(self):
+        s = as_schedule(BLUR_SCHEDULES["tuned"])
+        restored = Schedule.from_dict(s.to_dict())
+        assert restored == s
+        from_json = Schedule.from_json(s.to_json(indent=2))
+        assert from_json == s
+        assert from_json.digest() == s.digest()
+        assert hash(from_json) == hash(s)
+        # Digests identify content: any edit changes them.
+        edited = s.with_directives("blur_x", ("parallel", "y"))
+        assert edited != s and edited.digest() != s.digest()
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown schedule directive"):
+            Schedule({"f": [("warp_speed", "x")]})
+
+    def test_numpy_integer_arguments_are_canonicalized(self):
+        plain = Schedule({"f": [("split", "x", "xo", "xi", 4)]})
+        numpy_int = Schedule({"f": [("split", "x", "xo", "xi", np.int64(4))]})
+        assert numpy_int == plain
+        assert numpy_int.digest() == plain.digest()
+        assert numpy_int.to_dict()["funcs"]["f"][0][4] == 4
+
+    def test_non_integral_factor_rejected_at_construction(self):
+        with pytest.raises(ScheduleError, match="must be an integer"):
+            Schedule({"f": [("split", "x", "xo", "xi", 4.5)]})
+
+    def test_version_gate(self):
+        with pytest.raises(ScheduleError, match="version"):
+            Schedule.from_dict({"version": 99, "funcs": {}})
+
+    def test_as_schedule_coercions(self):
+        s = as_schedule(BLUR_SCHEDULES["tiled"])
+        assert as_schedule(None) is None
+        assert as_schedule(s) is s
+        assert as_schedule(s.to_json()) == s
+        assert as_schedule(s.to_dict()) == s
+        assert as_schedule({"blur_x": [("compute_root",)]}) == \
+            as_schedule(Schedule().func("blur_x").compute_root())
+
+    def test_from_funcs_capture(self, blur_image):
+        app = make_blur(blur_image).apply_schedule("tuned")
+        captured = Schedule.from_funcs(app.funcs)
+        # Replaying the capture on the pipeline graph reproduces the exact
+        # per-function schedules (splits, order, markings, call schedule).
+        env = app.pipeline().functions()
+        for name, materialized in captured.func_schedules(env).items():
+            original = env[name].schedule
+            assert materialized.dim_names() == original.dim_names()
+            assert materialized.describe() == original.describe()
+
+    def test_func_schedules_rejects_unknown_function(self, blur_image):
+        app = make_blur(blur_image)
+        rogue = Schedule().func("no_such_stage").compute_root()
+        with pytest.raises(ScheduleError, match="no_such_stage"):
+            app.pipeline().compile(app.default_size, schedule=rogue)
+
+
+# ---------------------------------------------------------------------------
+# Target
+# ---------------------------------------------------------------------------
+
+class TestTarget:
+    def test_resolve_forms(self):
+        assert Target.resolve(None).backend in backend_names()
+        assert Target.resolve("numpy").backend == "numpy"
+        t = Target(backend="interp", vector_width=8, threads=16)
+        assert Target.resolve(t) is t
+        assert Target.resolve(t.to_dict()) == t
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert Target.resolve(None).backend == "numpy"
+
+    def test_unknown_backend_fails_early_with_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            Target(backend="cuda")
+        message = str(excinfo.value)
+        for name in backend_names():
+            assert name in message
+
+    def test_bad_env_var_fails_early(self, monkeypatch, blur_image):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "not_a_backend")
+        app = make_blur(blur_image)
+        with pytest.raises(ValueError, match="not_a_backend"):
+            app.realize()
+
+    def test_machine_profile_overrides(self):
+        t = Target(profile="small_cache_cpu", vector_width=8, threads=2)
+        profile = t.machine_profile()
+        assert profile.vector_width == 8
+        assert profile.cores == 2
+
+    def test_unknown_profile_fails_early(self):
+        with pytest.raises(ValueError, match="machine profile"):
+            Target(profile="quantum_annealer")
+
+    def test_serialization_round_trip(self):
+        t = Target(backend="numpy", vector_width=4, profile="xeon_w3520")
+        assert Target.from_dict(t.to_dict()) == t
+        assert t.key() == Target.from_dict(t.to_dict()).key()
+
+
+# ---------------------------------------------------------------------------
+# CompiledPipeline + compilation cache
+# ---------------------------------------------------------------------------
+
+class TestCompileCache:
+    def test_second_realize_skips_lowering(self, blur_image, monkeypatch):
+        app = make_blur(blur_image).apply_schedule("tuned")
+        pipe = app.pipeline()
+        calls = {"n": 0}
+        real_lower = pipeline_module.lower
+
+        def counting_lower(*args, **kwargs):
+            calls["n"] += 1
+            return real_lower(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "lower", counting_lower)
+        first = pipe.realize(app.default_size)
+        assert calls["n"] == 1
+        second = pipe.realize(app.default_size)
+        assert calls["n"] == 1, "second realize under an unchanged key must not lower"
+        assert np.array_equal(first, second)
+        info = pipe.cache_info()
+        assert info.hits == 1 and info.misses == 1 and info.currsize == 1
+
+    def test_cache_key_discriminates(self, blur_image):
+        app = make_blur(blur_image)
+        pipe = app.pipeline()
+        size = app.default_size
+        pipe.compile(size, schedule=BLUR_SCHEDULES["breadth_first"])
+        pipe.compile(size, schedule=BLUR_SCHEDULES["tuned"])          # new schedule
+        pipe.compile(size, schedule=BLUR_SCHEDULES["tuned"], target="numpy")  # new target
+        pipe.compile([16, 12], schedule=BLUR_SCHEDULES["tuned"])      # new sizes
+        assert pipe.cache_info().misses == 4
+        assert pipe.cache_info().hits == 0
+        pipe.compile(size, schedule=BLUR_SCHEDULES["tuned"])
+        assert pipe.cache_info().hits == 1
+
+    def test_algorithm_redefinition_is_never_stale(self):
+        """Adding an update definition between realizations must recompile."""
+        from repro.lang import Func, Var
+
+        x = Var("x")
+        f = Func("stale_probe")
+        f[x] = 1.0
+        pipe = Pipeline(f)
+        assert np.array_equal(pipe.realize([4]), np.ones(4, dtype=np.float32))
+        f[x] = f[x] + 1.0  # algorithm changed; the schedule did not
+        assert np.array_equal(pipe.realize([4]), np.full(4, 2.0, dtype=np.float32))
+        assert pipe.cache_info().misses == 2
+
+    def test_rebinding_a_differently_shaped_image_is_never_stale(self):
+        """Image shapes are baked into strides; rebinding must recompile."""
+        from repro.lang import Buffer, Func, ImageParam, Var
+        from repro.types import Float
+
+        x, y = Var("x"), Var("y")
+        img = ImageParam(Float(32), 2, name="img_in")
+        f = Func("shape_probe")
+        f[x, y] = img[x, y] * 2.0
+        small = np.arange(8 * 6, dtype=np.float32).reshape(8, 6)
+        big = np.arange(16 * 12, dtype=np.float32).reshape(16, 12)
+        img.set(Buffer(np.asfortranarray(small), name="img_in"))
+        pipe = Pipeline(f)
+        out_small = pipe.realize([4, 4])
+        img.set(Buffer(np.asfortranarray(big), name="img_in"))
+        out_big = pipe.realize([4, 4])
+        assert np.array_equal(out_big, big[:4, :4] * 2.0)
+        assert pipe.cache_info().misses == 2
+        assert np.array_equal(out_small, small[:4, :4] * 2.0)
+
+    def test_held_compiled_pipeline_rejects_reshaped_image(self):
+        """A held CompiledPipeline fails loudly (not garbage) after a shape
+        change of a bound image."""
+        from repro.lang import Buffer, Func, ImageParam, Var
+        from repro.types import Float
+
+        x, y = Var("x"), Var("y")
+        img = ImageParam(Float(32), 2, name="img_held")
+        f = Func("held_probe")
+        f[x, y] = img[x, y] + 1.0
+        img.set(Buffer(np.zeros((8, 6), dtype=np.float32, order="F"), name="img_held"))
+        compiled = Pipeline(f).compile([4, 4])
+        compiled()
+        img.set(Buffer(np.zeros((16, 12), dtype=np.float32, order="F"), name="img_held"))
+        with pytest.raises(ValueError, match="compiled for shape"):
+            compiled()
+
+    def test_in_place_rescheduling_is_never_stale(self, blur_image):
+        """Mutating Funcs between realizations changes the captured digest."""
+        app = make_blur(blur_image)
+        pipe = app.pipeline()
+        naive = app.apply_schedule("breadth_first").realize()
+        tuned = app.apply_schedule("tuned").realize()
+        assert pipe.cache_info().misses == 2
+        np.testing.assert_array_equal(naive, tuned)
+
+    def test_lru_bound_and_introspection(self, blur_image):
+        app = make_blur(blur_image)
+        pipe = Pipeline(app.output, cache_size=2)
+        size = app.default_size
+        for name in ("breadth_first", "full_fusion", "sliding_window"):
+            pipe.compile(size, schedule=BLUR_SCHEDULES[name])
+        info = pipe.cache_info()
+        assert info.maxsize == 2 and info.currsize == 2
+        # The oldest entry was evicted: recompiling it misses again.
+        pipe.compile(size, schedule=BLUR_SCHEDULES["breadth_first"])
+        assert pipe.cache_info().misses == 4
+        pipe.cache_clear()
+        assert pipe.cache_info() == (0, 0, 2, 0)
+
+    def test_compiled_pipeline_is_reusable_and_isolated(self, blur_image):
+        """A CompiledPipeline survives later mutation of the algorithm's Funcs."""
+        app = make_blur(blur_image)
+        compiled = app.compile(schedule="tuned", target="numpy")
+        assert isinstance(compiled, CompiledPipeline)
+        before = compiled()
+        app.apply_schedule("full_fusion")  # mutate the Funcs afterwards
+        after = compiled()
+        assert np.array_equal(before, after)
+        assert compiled.schedule == as_schedule(BLUR_SCHEDULES["tuned"])
+        reference = make_blur(blur_image).apply_schedule("tuned").realize(backend="numpy")
+        assert np.array_equal(before, reference)
+
+    def test_compile_requires_sizes(self, blur_image):
+        app = make_blur(blur_image)
+        with pytest.raises(ValueError, match="sizes"):
+            app.pipeline().compile(schedule=BLUR_SCHEDULES["tuned"])
+
+
+# ---------------------------------------------------------------------------
+# non-destructive sweeps (the fig3 acceptance shape)
+# ---------------------------------------------------------------------------
+
+class TestNonDestructiveSweep:
+    def test_all_blur_schedules_from_one_unmutated_graph(self, blur_image):
+        """Evaluate every named blur schedule against a single algorithm graph,
+        through JSON, and compare bit-for-bit with the mutation-based path."""
+        app = make_blur(blur_image)
+        pipe = app.pipeline()
+        size = app.default_size
+        target = Target(backend="interp")
+        for name, schedule in BLUR_SCHEDULES.items():
+            restored = Schedule.from_json(as_schedule(schedule).to_json())
+            swept = pipe.compile(size, schedule=restored, target=target).run()
+            # The algorithm graph stays pristine after each compile.
+            assert app.output.function.schedule.splits == []
+            reference = make_blur(blur_image).apply_schedule(name).realize(
+                backend="interp")
+            assert np.array_equal(swept, reference), f"schedule {name!r} diverged"
+
+    def test_concurrent_compiled_schedules(self, blur_image):
+        """Many CompiledPipelines of one graph coexist and stay correct."""
+        app = make_blur(blur_image)
+        size = app.default_size
+        compiled = {name: app.compile(schedule=name, target="numpy")
+                    for name in ("breadth_first", "tiled", "tuned")}
+        outputs = {name: c() for name, c in compiled.items()}
+        for name, out in outputs.items():
+            assert np.array_equal(out, outputs["breadth_first"]), name
+
+
+# ---------------------------------------------------------------------------
+# apply_schedule double-application regression
+# ---------------------------------------------------------------------------
+
+class TestDoubleApplication:
+    def test_two_schedules_in_sequence_match_fresh_application(self, blur_image):
+        app = make_blur(blur_image)
+        app.apply_schedule("tuned")
+        app.apply_schedule("tiled")  # must replace, not stack on, "tuned"
+        fresh = make_blur(blur_image).apply_schedule("tiled")
+        assert Schedule.from_funcs(app.funcs) == Schedule.from_funcs(fresh.funcs)
+        assert np.array_equal(app.realize(), fresh.realize())
+
+    def test_same_schedule_twice_is_idempotent(self, blur_image):
+        app = make_blur(blur_image)
+        app.apply_schedule("tuned")
+        once = Schedule.from_funcs(app.funcs)
+        app.apply_schedule("tuned")
+        assert Schedule.from_funcs(app.funcs) == once
+        # Before the reset-first fix this raised (split names collide) or
+        # silently stacked splits; now the realization stays correct.
+        reference = make_blur(blur_image).apply_schedule("tuned").realize()
+        assert np.array_equal(app.realize(), reference)
+
+    def test_reset_schedules_restores_defaults(self, blur_image):
+        app = make_blur(blur_image).apply_schedule("tuned")
+        app.reset_schedules()
+        assert app.output.function.schedule.splits == []
+        assert app.funcs["blur_x"].function.schedule.is_inlined()
+
+
+# ---------------------------------------------------------------------------
+# autotuner integration
+# ---------------------------------------------------------------------------
+
+class TestAutotunerSchedules:
+    def test_best_schedule_is_serializable_and_replayable(self, blur_image):
+        from repro.autotuner import Autotuner, CostModelEvaluator, TunerConfig
+        from repro.machine import SMALL_CACHE_CPU
+
+        app = make_blur(blur_image)
+        pipe = app.pipeline()
+        evaluator = CostModelEvaluator(pipe, [24, 16], profile=SMALL_CACHE_CPU)
+        result = Autotuner(pipe, evaluator,
+                           TunerConfig(population_size=4, generations=1, seed=3)).run()
+        best = result.best_schedule(pipe)
+        assert isinstance(best, Schedule)
+        replayed = Schedule.from_json(best.to_json())
+        out = pipe.realize([24, 16], schedule=replayed)
+        reference = pipe.realize([24, 16])
+        assert np.allclose(out, reference, atol=1e-4)
+
+    def test_tuning_reuses_compilations(self, blur_image):
+        """Across generations the evaluator must hit the compile cache."""
+        from repro.autotuner import Autotuner, CostModelEvaluator, TunerConfig
+        from repro.machine import SMALL_CACHE_CPU
+
+        pipe = make_blur(blur_image).pipeline()
+        evaluator = CostModelEvaluator(pipe, [16, 12], profile=SMALL_CACHE_CPU)
+        Autotuner(pipe, evaluator,
+                  TunerConfig(population_size=6, generations=2, seed=5)).run()
+        assert pipe.cache_info().hits > 0
