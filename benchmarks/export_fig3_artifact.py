@@ -1,11 +1,26 @@
 """Export the Figure 3 blur schedule-sweep timings as a JSON artifact.
 
 Runs every named blur schedule against a single un-mutated algorithm graph
-through the compile-once API (``pipeline.compile(schedule=s, target=t)``),
-times repeated executions of each CompiledPipeline, and writes
-``BENCH_fig3.json`` mapping schedule name -> {backend, wall seconds, digest}.
-CI uploads the file on every PR so the performance trajectory of the
-schedule sweep is tracked over time.
+through the compile-once API (``pipeline.compile(schedule=s, target=t)``)
+and times repeated executions of each CompiledPipeline across all three
+backends:
+
+* ``numpy`` — every schedule;
+* ``compiled`` — every schedule at ``threads=1`` and ``threads=4`` (the only
+  backend where ``.parallel()`` changes wall time);
+* ``interp`` — the breadth-first baseline only (the interpreter is ~100x
+  slower; one row anchors the speedup columns without stalling CI).
+
+A separate ``thread_scaling`` section times a parallel schedule on a larger
+image at 1/2/4 threads, recording the machine's ``cpu_count`` alongside — on
+a single-core runner the expected ratio is ~1.0 (the GIL-released NumPy work
+has nowhere to run concurrently), on a multi-core machine it records the
+Figure 7 thread-scaling speedup.
+
+The artifact is written to ``BENCH_fig3.json`` in the repository root; CI
+uploads it per PR, and the in-tree snapshot is refreshed by re-running this
+script locally and committing the result, so the performance trajectory of
+the schedule sweep accumulates over time.
 
 Run with:  python benchmarks/export_fig3_artifact.py [output.json]
 """
@@ -13,9 +28,11 @@ Run with:  python benchmarks/export_fig3_artifact.py [output.json]
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -24,9 +41,16 @@ from repro.apps import BLUR_SCHEDULES, make_blur
 
 REPEATS = 5
 IMAGE_SHAPE = (128, 96)
-#: The numpy backend sweeps every schedule; the interpreter (100x slower)
-#: contributes only the breadth-first baseline so CI stays fast.
+#: The numpy/compiled backends sweep every schedule; the interpreter (100x
+#: slower) contributes only the breadth-first baseline so CI stays fast.
 INTERP_SCHEDULES = ("breadth_first",)
+#: The thread-scaling measurement: a parallel schedule on a larger image.
+SCALING_SHAPE = (512, 512)
+SCALING_SCHEDULE = "tuned"
+SCALING_THREADS = (1, 2, 4)
+SCALING_REPEATS = 3
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fig3.json"
 
 
 def time_compiled(compiled, repeats: int = REPEATS) -> float:
@@ -38,31 +62,88 @@ def time_compiled(compiled, repeats: int = REPEATS) -> float:
     return float(np.median(times))
 
 
-def main(output_path: str = "BENCH_fig3.json") -> None:
-    image = np.random.default_rng(20130616).random(IMAGE_SHAPE).astype(np.float32)
-    app = make_blur(image)
-    pipeline = app.pipeline()
+def sweep_schedules(app, pipeline):
+    """Every named schedule on every backend: name@target -> timing row."""
     size = app.default_size
-
+    targets = [
+        (Target(backend="numpy"), tuple(BLUR_SCHEDULES)),
+        (Target(backend="compiled", threads=1), tuple(BLUR_SCHEDULES)),
+        (Target(backend="compiled", threads=4), tuple(BLUR_SCHEDULES)),
+        (Target(backend="interp"), INTERP_SCHEDULES),
+    ]
     results = {}
-    for backend in ("numpy", "interp"):
-        target = Target(backend=backend)
-        names = BLUR_SCHEDULES if backend == "numpy" else INTERP_SCHEDULES
+    for target, names in targets:
         for name in names:
             schedule = app.named_schedule(name)
             compile_start = time.perf_counter()
             compiled = pipeline.compile(size, schedule=schedule, target=target)
             compile_seconds = time.perf_counter() - compile_start
             seconds = time_compiled(compiled)
-            results[f"{name}@{backend}"] = {
+            results[f"{name}@{target}"] = {
                 "schedule": name,
-                "backend": backend,
+                "backend": target.backend,
+                "threads": target.threads,
                 "seconds": seconds,
                 "compile_seconds": compile_seconds,
                 "schedule_digest": schedule.digest(),
             }
-            print(f"{name:>20} @ {backend:<6} {seconds * 1e3:9.3f} ms "
+            print(f"{name:>18} @ {str(target):<18} {seconds * 1e3:9.3f} ms "
                   f"(compile {compile_seconds * 1e3:.1f} ms)")
+    return results
+
+
+def backend_speedups(results):
+    """compiled (threads=1) vs numpy, per schedule — the codegen win."""
+    speedups = {}
+    for name in BLUR_SCHEDULES:
+        via_numpy = results[f"{name}@numpy"]["seconds"]
+        via_compiled = results[f"{name}@compiled-threads1"]["seconds"]
+        speedups[name] = via_numpy / max(via_compiled, 1e-9)
+    return speedups
+
+
+def thread_scaling():
+    """Wall time of a parallel schedule at several thread counts."""
+    image = np.random.default_rng(20130616).random(SCALING_SHAPE).astype(np.float32)
+    app = make_blur(image)
+    pipeline = app.pipeline()
+    schedule = app.named_schedule(SCALING_SCHEDULE)
+    rows = {}
+    for threads in SCALING_THREADS:
+        compiled = pipeline.compile(app.default_size, schedule=schedule,
+                                    target=Target("compiled", threads=threads))
+        seconds = time_compiled(compiled, repeats=SCALING_REPEATS)
+        rows[str(threads)] = seconds
+        print(f"thread scaling: {SCALING_SCHEDULE} @ {SCALING_SHAPE} "
+              f"threads={threads} {seconds * 1e3:9.3f} ms")
+    return {
+        "image_shape": list(SCALING_SHAPE),
+        "schedule": SCALING_SCHEDULE,
+        "repeats": SCALING_REPEATS,
+        "seconds_by_threads": rows,
+        "speedup_4_over_1": rows["1"] / max(rows["4"], 1e-9),
+        # Thread speedup is bounded by the cores actually available; a
+        # single-core runner legitimately records ~1.0 here.
+        "cpu_count": os.cpu_count(),
+        "affinity_count": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else None,
+    }
+
+
+def main(output_path=DEFAULT_OUTPUT) -> None:
+    image = np.random.default_rng(20130616).random(IMAGE_SHAPE).astype(np.float32)
+    app = make_blur(image)
+    pipeline = app.pipeline()
+
+    results = sweep_schedules(app, pipeline)
+    speedups = backend_speedups(results)
+    scaling = thread_scaling()
+
+    print("\ncompiled (threads=1) speedup over numpy, per schedule:")
+    for name, speedup in speedups.items():
+        print(f"{name:>18}  {speedup:5.2f}x")
+    print(f"thread scaling ({SCALING_SCHEDULE}, {scaling['cpu_count']} cpu): "
+          f"{scaling['speedup_4_over_1']:.2f}x at 4 threads")
 
     artifact = {
         "benchmark": "fig3_blur_schedule_sweep",
@@ -70,13 +151,17 @@ def main(output_path: str = "BENCH_fig3.json") -> None:
         "repeats": REPEATS,
         "repro_version": __version__,
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "cache_info": pipeline.cache_info()._asdict(),
         "results": results,
+        "compiled_speedup_over_numpy": speedups,
+        "thread_scaling": scaling,
     }
     with open(output_path, "w") as fh:
         json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     print(f"\nwrote {output_path} ({len(results)} rows)")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_fig3.json")
+    main(Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUTPUT)

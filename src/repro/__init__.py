@@ -8,8 +8,11 @@ The package provides:
 * a compiler that lowers algorithm + schedule into a complete loop nest using
   interval-analysis bounds inference, sliding-window optimization, storage
   folding, flattening, unrolling and vectorization (:mod:`repro.compiler`);
-* runtime backends over numpy and an abstract machine model for performance
-  analysis (:mod:`repro.runtime`, :mod:`repro.machine`);
+* runtime backends over numpy — a reference interpreter, a vectorized
+  whole-array backend, and a compile-to-Python-source backend with a
+  multi-core parallel runtime — plus an abstract machine model for
+  performance analysis (:mod:`repro.runtime`, :mod:`repro.codegen`,
+  :mod:`repro.machine`);
 * a stochastic (genetic) autotuner over the schedule space (:mod:`repro.autotuner`);
 * the paper's example applications and expert-style numpy baselines
   (:mod:`repro.apps`, :mod:`repro.reference`).
@@ -35,7 +38,7 @@ from repro.pipeline import CompiledPipeline, Pipeline
 from repro.runtime.target import Target, as_target
 from repro.compiler import LoweringOptions
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Bool",

@@ -42,11 +42,13 @@ Four constructs need care beyond plain broadcasting:
   batched loop asserts all lanes at once.
 
 Instrumentation caveat: listeners observe batched events (one ``on_load``
-with ``lanes == iterations`` instead of many scalar events), and a rare
-store-check abort replays the loop, double-counting its events.  Totals match
-the interpreter on the common path, but the machine model and the Figure 3
-metrics should keep using the interpreter backend, whose event stream is
-exact.
+with ``lanes == iterations`` instead of many scalar events).  During a
+batched attempt the events are buffered and only delivered once the attempt
+commits; a store-check abort discards the buffer and replays the loop through
+the scalar path, whose events are delivered normally — so totals match the
+interpreter on the abort path too, never double-counted.  The machine model
+and the Figure 3 metrics should still use the interpreter backend, whose
+event *stream* (not just the totals) is exact.
 """
 
 from __future__ import annotations
@@ -78,6 +80,49 @@ class _BatchAbort(Exception):
     """Internal: a batched loop body found it cannot preserve store order."""
 
 
+class _EventRecorder(ExecutionListener):
+    """Buffers listener events so a batched attempt can commit or discard them.
+
+    A batched loop body delivers its events here instead of to the real
+    listeners; on success :meth:`replay` forwards them, on a
+    :class:`_BatchAbort` they are dropped and the scalar replay produces the
+    (exact, scalar-order) events instead.  This keeps listener totals
+    identical to the interpreter even on the abort path.
+    """
+
+    def __init__(self):
+        self.events = []
+
+    def on_loop_begin(self, *args) -> None:
+        self.events.append(("on_loop_begin", args))
+
+    def on_loop_end(self, *args) -> None:
+        self.events.append(("on_loop_end", args))
+
+    def on_produce(self, *args) -> None:
+        self.events.append(("on_produce", args))
+
+    def on_arith(self, *args) -> None:
+        self.events.append(("on_arith", args))
+
+    def on_load(self, *args) -> None:
+        self.events.append(("on_load", args))
+
+    def on_store(self, *args) -> None:
+        self.events.append(("on_store", args))
+
+    def on_allocate(self, *args) -> None:
+        self.events.append(("on_allocate", args))
+
+    def on_free(self, *args) -> None:
+        self.events.append(("on_free", args))
+
+    def replay(self, listeners) -> None:
+        for name, args in self.events:
+            for listener in listeners:
+                getattr(listener, name)(*args)
+
+
 def _indices_unique(index: np.ndarray) -> bool:
     """Whether a flat index vector has no duplicate entries."""
     flat = index.ravel()
@@ -99,8 +144,9 @@ class NumpyExecutor(Executor):
     MIN_BATCH_EXTENT = 2
 
     def __init__(self, lowered: LoweredPipeline,
-                 listeners: Iterable[ExecutionListener] = ()):
-        super().__init__(lowered, listeners=listeners)
+                 listeners: Iterable[ExecutionListener] = (),
+                 target=None):
+        super().__init__(lowered, listeners=listeners, target=target)
         self._batch_info: Dict[int, LoopBatchInfo] = analyze_batchable_loops(lowered.stmt)
         #: Iteration count of the loop currently being batched (None outside).
         self._lanes: Optional[int] = None
@@ -132,6 +178,13 @@ class NumpyExecutor(Executor):
 
         for listener in self.listeners:
             listener.on_loop_begin(stmt.name, stmt.for_type, extent)
+        # Buffer the batched attempt's events: they are committed only if the
+        # attempt succeeds.  An abort discards them and the scalar replay
+        # below reports the (exact) events instead — totals therefore match
+        # the interpreter on both paths, never double-counted.
+        real_listeners = self.listeners
+        recorder = _EventRecorder() if real_listeners else None
+        self.listeners = [recorder] if recorder is not None else []
         saved = self.scope.get(stmt.name, _MISSING)
         self.scope[stmt.name] = np.arange(mn, mn + extent)
         self._lanes = extent
@@ -143,6 +196,7 @@ class NumpyExecutor(Executor):
         except _BatchAbort:
             aborted = True
         finally:
+            self.listeners = real_listeners
             self._lanes = None
             self._verified_stores = set()
             self._aligned_names = set()
@@ -150,17 +204,26 @@ class NumpyExecutor(Executor):
                 self.scope.pop(stmt.name, None)
             else:
                 self.scope[stmt.name] = saved
-        for listener in self.listeners:
-            listener.on_loop_end(stmt.name, stmt.for_type, extent)
         if aborted:
             # Safe to replay: the body cannot load what it stores, so scalar
             # re-execution overwrites every location in the correct order.
-            self._run_scalar(stmt, mn, extent)
-
-    def _run_scalar(self, stmt: S.For, mn: int, extent: int) -> None:
-        """The inherited scalar loop (bounds already evaluated)."""
+            # (The enclosing loop_begin/loop_end are already accounted for.)
+            self._run_scalar(stmt, mn, extent, loop_events=False)
+        elif recorder is not None:
+            recorder.replay(real_listeners)
         for listener in self.listeners:
-            listener.on_loop_begin(stmt.name, stmt.for_type, extent)
+            listener.on_loop_end(stmt.name, stmt.for_type, extent)
+
+    def _run_scalar(self, stmt: S.For, mn: int, extent: int,
+                    loop_events: bool = True) -> None:
+        """The inherited scalar loop (bounds already evaluated).
+
+        ``loop_events=False`` skips the loop begin/end listener events — used
+        by the abort replay, whose enclosing events were already delivered.
+        """
+        if loop_events:
+            for listener in self.listeners:
+                listener.on_loop_begin(stmt.name, stmt.for_type, extent)
         saved = self.scope.get(stmt.name, _MISSING)
         try:
             for i in range(mn, mn + extent):
@@ -171,8 +234,9 @@ class NumpyExecutor(Executor):
                 self.scope.pop(stmt.name, None)
             else:
                 self.scope[stmt.name] = saved
-        for listener in self.listeners:
-            listener.on_loop_end(stmt.name, stmt.for_type, extent)
+        if loop_events:
+            for listener in self.listeners:
+                listener.on_loop_end(stmt.name, stmt.for_type, extent)
 
     def _eval_quiet(self, e: E.Expr):
         """Evaluate without reporting to listeners (used for legality checks)."""

@@ -114,6 +114,19 @@ class CompiledPipeline:
         """The compilation-cache key this entry is stored under."""
         return self._cache_key
 
+    def source(self) -> str:
+        """The Python source the ``compiled`` backend generates for this
+        pipeline (cached per lowering; generated on first request).
+
+        Useful for debugging schedules: the emitted loops, whole-array NumPy
+        regions, and ``parallel_for`` chunk bodies mirror the lowered
+        statement one-to-one.  Any target can ask for the source — only the
+        ``compiled`` backend executes it.
+        """
+        from repro.codegen.source_backend import generate_source
+
+        return generate_source(self.lowered)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -131,7 +144,12 @@ class CompiledPipeline:
     def run_with_report(self, params: Optional[Dict[str, object]] = None,
                         inputs: Optional[Dict[str, np.ndarray]] = None,
                         listeners: Iterable[ExecutionListener] = ()) -> RealizationReport:
-        """Execute and also return execution counters and listeners."""
+        """Execute and also return execution counters and listeners.
+
+        Note: the ``compiled`` backend drives no listeners (its generated
+        code has no instrumentation), so counters read zero under it; use
+        the ``interp`` backend for exact event streams.
+        """
         output = self.lowered.output
         sizes = self.sizes
 
@@ -139,6 +157,14 @@ class CompiledPipeline:
         all_listeners: List[ExecutionListener] = [counters] + list(listeners)
         executor = create_executor(self.lowered, listeners=all_listeners,
                                    target=self.target)
+        if len(all_listeners) > 1 and not getattr(executor, "drives_listeners", True):
+            import warnings
+
+            warnings.warn(
+                f"backend {self.target.backend!r} does not drive instrumentation "
+                "listeners; the listeners passed to run() will observe nothing "
+                "(use the 'interp' backend for exact events)",
+                RuntimeWarning, stacklevel=3)
 
         # Bind the requested output region.
         rounded_shape: List[int] = []
@@ -323,6 +349,13 @@ class Pipeline:
 
         overrides = sched.func_schedules(env) if explicit else None
         lowered = self._lower(sizes=sizes, schedules=overrides, options=options)
+        if target.backend == "compiled":
+            # Generate + exec the Python source now, so compile() really is
+            # the compile step: run()/timed regions (the wall-clock evaluator,
+            # the benchmarks) never pay one-time codegen cost.
+            from repro.codegen.source_backend import compile_lowered
+
+            compile_lowered(lowered)
         compiled = CompiledPipeline(self, lowered, sizes, sched, target, options,
                                     cache_key=key, images=images)
         self._compile_cache[key] = compiled

@@ -1,9 +1,11 @@
 """Runtime backends: the IR interpreter, the backend registry, and
 execution instrumentation used by the machine model.
 
-The vectorized NumPy backend lives in :mod:`repro.codegen` and registers
-itself here under the name ``"numpy"``; select backends by name through
-:func:`get_backend` / ``Pipeline.realize(backend=...)``.
+The vectorized NumPy backend and the compile-to-Python source backend live
+in :mod:`repro.codegen` and register here under the names ``"numpy"`` and
+``"compiled"``; select backends through :func:`get_backend` /
+``Pipeline.realize(target=...)`` (a :class:`Target` carries the backend name
+plus execution parameters such as ``threads``).
 """
 
 from repro.runtime.backend import (

@@ -13,9 +13,20 @@ the benchmark harness select one by name:
   (:class:`~repro.codegen.numpy_backend.NumpyExecutor`).  Batches innermost
   loops into whole-array operations; bit-identical to the interpreter and
   10-100x faster, but instrumentation sees batched (per-array) events.
+* ``"compiled"`` — the compile-to-Python source backend
+  (:class:`~repro.codegen.source_backend.CompiledExecutor`).  Emits one
+  Python/NumPy function per lowered pipeline (``compile()``+``exec()``'d
+  once), runs ``ForType.PARALLEL`` loops on a thread pool sized by
+  ``Target.threads``, and drives no instrumentation listeners.  The fastest
+  backend; bit-identical to the interpreter.
 
 The default is ``"interp"``; set the ``REPRO_BACKEND`` environment variable
-or pass ``backend=`` to :meth:`Pipeline.realize` to override.
+or pass ``backend=``/``target=`` to :meth:`Pipeline.realize` to override.
+
+Backend factories are called as ``factory(lowered, listeners=..., target=...)``
+where ``target`` is the resolved :class:`~repro.runtime.target.Target`;
+backends that cannot honour parts of the target (e.g. ``threads``) ignore
+them.
 """
 
 from __future__ import annotations
@@ -80,6 +91,10 @@ def _ensure_builtin_backends() -> None:
         from repro.codegen.numpy_backend import NumpyExecutor
 
         register_backend("numpy", NumpyExecutor)
+    if "compiled" not in _BACKENDS:
+        from repro.codegen.source_backend import CompiledExecutor
+
+        register_backend("compiled", CompiledExecutor)
 
 
 def backend_names() -> tuple:
@@ -126,7 +141,35 @@ def create_executor(lowered: LoweredPipeline,
 
     ``target`` (a :class:`~repro.runtime.target.Target`, or anything its
     ``resolve`` accepts) takes precedence over the legacy ``backend`` string.
+    The resolved Target is forwarded to the backend factory, so execution
+    parameters such as ``Target.threads`` reach the runtime.
     """
-    if target is not None:
-        backend = getattr(target, "backend", None) or str(target)
-    return get_backend(backend)(lowered, listeners=listeners)
+    from repro.runtime.target import Target  # local import: Target imports us
+
+    resolved = Target.resolve(target if target is not None else backend)
+    factory = get_backend(resolved.backend)
+    if _factory_accepts_target(factory):
+        return factory(lowered, listeners=listeners, target=resolved)
+    return factory(lowered, listeners=listeners)
+
+
+#: Memoized per factory: signature inspection is too slow for run() hot paths.
+_ACCEPTS_TARGET: Dict[BackendFactory, bool] = {}
+
+
+def _factory_accepts_target(factory: BackendFactory) -> bool:
+    """Whether a factory takes the ``target=`` keyword.
+
+    Third-party factories registered under the pre-Target contract
+    (``factory(lowered, listeners=...)``) keep working: target is only
+    passed when the signature accepts it.
+    """
+    accepts = _ACCEPTS_TARGET.get(factory)
+    if accepts is None:
+        import inspect
+
+        parameters = inspect.signature(factory).parameters
+        accepts = "target" in parameters or any(
+            p.kind == p.VAR_KEYWORD for p in parameters.values())
+        _ACCEPTS_TARGET[factory] = accepts
+    return accepts

@@ -48,10 +48,18 @@ _INTRINSICS = {
 class Executor:
     """Interprets a :class:`~repro.compiler.lower.LoweredPipeline`."""
 
+    #: Whether this backend reports execution events to listeners.  The
+    #: compiled backend opts out (generated code has no instrumentation).
+    drives_listeners = True
+
     def __init__(self, lowered: LoweredPipeline,
-                 listeners: Iterable[ExecutionListener] = ()):
+                 listeners: Iterable[ExecutionListener] = (),
+                 target=None):
         self.lowered = lowered
         self.listeners: List[ExecutionListener] = list(listeners)
+        #: The resolved Target this executor was created for (may be None).
+        #: The interpreter ignores vector_width/threads; subclasses may not.
+        self.target = target
         self.scope: Dict[str, object] = {}
         self.buffers: Dict[str, np.ndarray] = {}
         self.buffer_types: Dict[str, np.dtype] = {}

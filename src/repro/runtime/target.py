@@ -32,7 +32,9 @@ class Target:
     the interpreter); it is validated against the backend registry at
     construction time.  ``vector_width`` and ``threads`` describe the machine
     the schedule is tuned for (consumed by the cost model as overrides of the
-    named ``profile``); backends that cannot honour them simply ignore them.
+    named ``profile``); ``threads`` additionally sizes the thread pool the
+    ``compiled`` backend runs parallel loops on.  Backends that cannot honour
+    a parameter simply ignore it.
     """
 
     backend: Optional[str] = None
