@@ -1,0 +1,37 @@
+"""Throughput of the differential-fuzzing oracle (cases per second).
+
+Not a paper figure: this tracks how much adversarial coverage a CI minute
+buys.  One *case* = generate a random pipeline + legal schedule, then realize
+it four times (interp reference, numpy, compiled at threads 1 and 4) and
+compare bit-for-bit.  The interpreter dominates the cost, so regressions here
+usually mean the generator started emitting pathological loop nests or a
+backend lost its compile cache — both worth catching before the nightly
+corpus times out.
+
+Run explicitly:  PYTHONPATH=src python -m pytest benchmarks/bench_fuzz_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.fuzz import FuzzCase, run_case
+
+#: Pinned slice: the smoke corpus's seeds, so the number tracks one workload.
+SEEDS = tuple(range(12))
+
+
+def _run_corpus():
+    reports = [run_case(FuzzCase.from_seed(seed)) for seed in SEEDS]
+    assert all(r.ok for r in reports), [r.summary() for r in reports if not r.ok]
+    return len(reports)
+
+
+def test_fuzz_oracle_throughput(benchmark):
+    started = time.time()
+    cases = run_once(benchmark, _run_corpus)
+    elapsed = time.time() - started
+    print(f"\nfuzz oracle: {cases} cases in {elapsed:.1f}s "
+          f"= {cases / elapsed:.2f} cases/s")

@@ -22,7 +22,7 @@ from repro.autotuner.search_space import (
 from repro.core.function import Function
 
 __all__ = ["random_gene", "random_genome", "reasonable_genome", "breadth_first_genome",
-           "consumer_loops_of"]
+           "consumer_loops_of", "fuzz_gene", "fuzz_genome"]
 
 
 def consumer_loops_of(func: Function, env: Dict[str, Function],
@@ -155,6 +155,50 @@ def _has_footprint_one(func: Function, env: Dict[str, Function]) -> bool:
     from repro.metrics.pipeline_stats import _is_stencil
 
     return not _is_stencil(func) and not func.has_updates()
+
+
+def fuzz_gene(func: Function, env: Dict[str, Function],
+              consumers: Dict[str, List[str]], rng: random.Random) -> FunctionGene:
+    """A gene drawn for differential testing rather than tuning.
+
+    Starts from :func:`random_gene` and widens the space toward shapes the
+    tuner rarely visits but the compiler must still get right: storage-dim
+    reorders (applied first, before any split renames dimensions), splits
+    with ``GUARD_WITH_IF`` tails (exercising the backends' guarded scalar
+    paths), and odd split factors (3, 5, 6, 7) alongside the tuner's powers
+    of two — tails that don't divide the extent are where bounds handling
+    breaks.
+    """
+    gene = random_gene(func, env, consumers, rng, gpu=False)
+    ops = list(gene.domain_ops)
+    if len(func.args) >= 2 and rng.random() < 0.35:
+        order = list(func.args)
+        rng.shuffle(order)
+        ops.insert(0, ("reorder", tuple(order)))
+    widened: List[Tuple] = []
+    for op in ops:
+        if op[0] == "split":
+            factor = rng.choice((3, 5, 6, 7)) if rng.random() < 0.4 else op[2]
+            if rng.random() < 0.4:
+                op = ("split", op[1], factor, "guard_with_if")
+            else:
+                op = ("split", op[1], factor)
+        widened.append(op)
+    return FunctionGene(gene.call_schedule, widened)
+
+
+def fuzz_genome(env: Dict[str, Function], consumers: Dict[str, List[str]],
+                output_name: str, rng: random.Random) -> ScheduleGenome:
+    """A fully random genome over the widened fuzzing space (see :func:`fuzz_gene`)."""
+    genome = ScheduleGenome()
+    for name, func in env.items():
+        if func.schedule is None:
+            continue
+        gene = fuzz_gene(func, env, consumers, rng)
+        if name == output_name:
+            gene = FunctionGene(("root",), gene.domain_ops)
+        genome.genes[name] = gene
+    return genome
 
 
 def random_genome(env: Dict[str, Function], consumers: Dict[str, List[str]],

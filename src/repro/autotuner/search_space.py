@@ -19,6 +19,7 @@ from repro.core.function import Function
 from repro.core.loop_level import LoopLevel
 from repro.core.pipeline_schedule import Schedule
 from repro.core.schedule import FuncSchedule, ScheduleError
+from repro.core.split import TailStrategy
 
 __all__ = ["FunctionGene", "ScheduleGenome", "POWER_OF_TWO_SIZES", "MAX_DOMAIN_OPS"]
 
@@ -44,7 +45,8 @@ class FunctionGene:
 
     ``domain_ops`` is a list of transformation tuples:
 
-    * ``("split", var, factor)``
+    * ``("split", var, factor[, tail])`` — ``tail`` is a
+      :class:`~repro.core.split.TailStrategy` value string (default round-up)
     * ``("tile", xfactor, yfactor)`` — split the two innermost storage dims
     * ``("reorder", (v0, v1, ...))``
     * ``("parallel", var)`` / ``("vectorize", var, width)`` / ``("unroll", var, n)``
@@ -132,9 +134,10 @@ def _apply_domain_ops(schedule: FuncSchedule, ops: Sequence[Tuple]) -> None:
     for op in ops[:MAX_DOMAIN_OPS]:
         kind = op[0]
         if kind == "split":
-            _, var, factor = op
+            var, factor = op[1], op[2]
+            tail = TailStrategy(op[3]) if len(op) > 3 else TailStrategy.ROUND_UP
             var = _resolve_dim(schedule, var, prefer_inner=True)
-            schedule.split(var, f"{var}_o", f"{var}_i", int(factor))
+            schedule.split(var, f"{var}_o", f"{var}_i", int(factor), tail)
         elif kind == "tile":
             _, xfactor, yfactor = op
             dims = schedule.storage_dims

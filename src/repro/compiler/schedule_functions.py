@@ -91,17 +91,35 @@ def realize_bounds_for(func: Function, which: str = "realized") -> List:
         extent_expr = bound_var(
             func.name, dim, "extent_realized" if which == "realized" else "extent"
         )
-        factor = schedule.total_split_factor(dim)
-        if factor > 1:
+        if schedule.is_split(dim):
             if which == "realized":
                 # The computed region may start anywhere inside the stored
-                # region, and split loops round their traversal up to a
-                # multiple of the factor, so pad the allocation by factor - 1.
-                extent_expr = extent_expr + (factor - 1)
+                # region, and split loops round their traversal up, so pad
+                # the allocation by the worst-case traversal overshoot.
+                pad = schedule.split_padding(dim)
+                if pad:
+                    extent_expr = extent_expr + pad
             else:
-                extent_expr = ((extent_expr + (factor - 1)) / factor) * factor
+                extent_expr = _rounded_extent_expr(schedule, dim, extent_expr)
         bounds.append((min_expr, extent_expr))
     return bounds
+
+
+def _rounded_extent_expr(schedule: FuncSchedule, var: str, extent_expr: E.Expr) -> E.Expr:
+    """Symbolic form of :meth:`FuncSchedule.rounded_extent`: the contiguous
+    region the rounded-up traversal of ``var``'s split chain covers.
+
+    Follows both the outer chain (tile counts round up) and the inner chain
+    (a re-split inner dimension makes each tile cover more than its stride) —
+    a single multiplicative round-up factor is not sound for the latter.
+    """
+    split = schedule.split_children(var)
+    if split is None:
+        return extent_expr
+    tiles = _rounded_extent_expr(
+        schedule, split.outer, (extent_expr + (split.factor - 1)) / split.factor)
+    inner_cover = schedule.rounded_extent(split.inner, split.factor)
+    return (tiles - 1) * split.factor + inner_cover
 
 
 # ---------------------------------------------------------------------------

@@ -10,10 +10,12 @@ itself and surface as :class:`~repro.core.schedule.ScheduleError`.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.function import Function
 from repro.core.schedule import ScheduleError
+from repro.ir import expr as E
+from repro.ir.visitor import IRVisitor
 from repro.ir.stmt import ForType
 
 __all__ = ["validate_schedules"]
@@ -41,6 +43,124 @@ def _validate_level(func: Function, level, env: Dict[str, Function], what: str) 
             f"{level.func!r} has no loop dimension {level.var!r} "
             f"(its loops are {consumer.schedule.dim_names()})"
         )
+
+
+class _HalideCallCollector(IRVisitor):
+    def __init__(self):
+        self.names: Set[str] = set()
+
+    def visit_Call(self, node: E.Call):
+        if node.call_type == E.CallType.HALIDE:
+            self.names.add(node.name)
+        for a in node.args:
+            self.visit(a)
+
+
+def _direct_uses(func: Function) -> List[Tuple[str, bool]]:
+    """(callee, in_update) pairs for every function ``func`` reads.
+
+    ``in_update`` distinguishes reads from the pure definition and reads from
+    update stages: update-stage loop nests carry stage-suffixed loop names, so
+    a producer computed at one of the consumer's *pure* loops does not enclose
+    its update stages.
+    """
+    pure = _HalideCallCollector()
+    if func.definition is not None:
+        pure.visit(func.definition.value)
+    update = _HalideCallCollector()
+    for u in func.updates:
+        update.visit(u.value)
+        for a in u.args:
+            update.visit(a)
+    uses = [(name, False) for name in pure.names - {func.name}]
+    uses += [(name, True) for name in update.names - {func.name}]
+    return uses
+
+
+def _effective_use_sites(name: str, env: Dict[str, Function],
+                         consumers: Dict[str, List[Tuple[str, bool]]]
+                         ) -> Set[Tuple[str, bool]]:
+    """Non-inlined functions whose loop nests contain loads of ``name``.
+
+    Inlined consumers are expanded transitively: their reads happen wherever
+    *their* consumers compute.  ``in_update`` is true when the load lands in
+    an update-stage nest of the site.
+    """
+    sites: Set[Tuple[str, bool]] = set()
+    pending = list(consumers.get(name, []))
+    seen = set()
+    while pending:
+        consumer, in_update = pending.pop()
+        if (consumer, in_update) in seen:
+            continue
+        seen.add((consumer, in_update))
+        func = env.get(consumer)
+        if func is None:
+            continue
+        if func.schedule.is_inlined():
+            for outer, outer_in_update in consumers.get(consumer, []):
+                pending.append((outer, in_update or outer_in_update))
+        else:
+            sites.add((consumer, in_update))
+    return sites
+
+
+def _encloses(func: Function, level, site: str, in_update: bool,
+              env: Dict[str, Function]) -> bool:
+    """Whether loop ``level`` = (g, v) of ``func`` encloses the nest of ``site``."""
+    g, v = level.func, level.var
+    if site == g:
+        # Loads in g's pure stage sit under every one of g's pure loops;
+        # update-stage nests have their own (stage-suffixed) loop names and
+        # are NOT under the pure loop the producer is computed at.
+        return not in_update
+    # Walk the site's compute_at chain upwards until it enters g (or root).
+    current = site
+    visited = set()
+    while current not in visited:
+        visited.add(current)
+        func_at = env.get(current)
+        if func_at is None:
+            return False
+        lvl = func_at.schedule.compute_level
+        if not lvl.is_at():
+            return False        # reached root without passing through g
+        if lvl.func == g:
+            # Entering g at loop w: (g, v) encloses it iff v is the same
+            # loop or an outer one (dims are listed innermost first).
+            order = env[g].schedule.dim_names() if g in env else []
+            if v not in order or lvl.var not in order:
+                return False
+            return order.index(v) >= order.index(lvl.var)
+        current = lvl.func
+    return False
+
+
+def _validate_compute_at_enclosure(env: Dict[str, Function]) -> None:
+    """Reject compute_at levels that do not enclose every use of the function.
+
+    The injection pass places a producer's realization inside one loop of one
+    consumer; if another consumer's nest is not inside that loop, its loads
+    would have no realization — a crash deep in flattening without this check.
+    """
+    consumers: Dict[str, List[Tuple[str, bool]]] = {}
+    for name, func in env.items():
+        for callee, in_update in _direct_uses(func):
+            consumers.setdefault(callee, []).append((name, in_update))
+
+    for name, func in env.items():
+        level = func.schedule.compute_level
+        if not level.is_at():
+            continue
+        for site, in_update in _effective_use_sites(name, env, consumers):
+            if not _encloses(func, level, site, in_update, env):
+                where = (f"the update stage(s) of {site!r}" if site == level.func
+                         else f"{site!r}")
+                raise ScheduleError(
+                    f"{name!r} is computed at {level.func!r}.{level.var}, but it "
+                    f"is also used by {where}, whose loops are not nested inside "
+                    f"that level; compute {name!r} at an enclosing loop or at root"
+                )
 
 
 def validate_schedules(env: Dict[str, Function], order: Sequence[str],
@@ -87,3 +207,5 @@ def validate_schedules(env: Dict[str, Function], order: Sequence[str],
                     f"reduction dimension {dim.var!r} of {func.name!r} may not be "
                     f"{dim.for_type.value} unless the update is associative"
                 )
+
+    _validate_compute_at_enclosure(env)

@@ -91,11 +91,13 @@ class FuncSchedule:
         return self.split_children(var) is not None
 
     def total_split_factor(self, storage_dim: str) -> int:
-        """Product of split factors applied along one storage dimension.
+        """Product of split factors applied along the *outer* chain of one
+        storage dimension.
 
-        The traversed domain of a split dimension is rounded up to a multiple
-        of its factor (Section 4.1), so allocations along that dimension must
-        be rounded up to a multiple of this product.
+        Note this is NOT sufficient to size allocations when an *inner* split
+        dimension is re-split (the rounded traversal then covers more than
+        any multiple of a single factor); use :meth:`rounded_extent` /
+        :meth:`split_padding` for allocation sizing.
         """
         factor = 1
         frontier = [storage_dim]
@@ -106,6 +108,43 @@ class FuncSchedule:
                 factor *= split.factor
                 frontier.append(split.outer)
         return factor
+
+    def rounded_extent(self, storage_dim: str, extent: int) -> int:
+        """Contiguous elements the rounded-up traversal of the loops derived
+        from ``storage_dim`` may touch, given a requested extent.
+
+        A ``split(old -> outer, inner, f)`` with the default round-up tail
+        traverses ``ceil(extent/f)`` tiles of stride ``f``; each tile covers
+        the rounded traversal of the ``inner`` chain over ``f`` iterations,
+        which can exceed ``f`` when ``inner`` is re-split by a non-dividing
+        factor (e.g. split x by 2, then split x_i by 4: each tile covers 4
+        elements at stride 2).  Allocations must therefore be sized by this
+        recursion — for outer-chain-only splits it reduces to rounding up to
+        the product of factors, but no single multiplicative factor is sound
+        in general.
+        """
+        return self._cover(storage_dim, int(extent))
+
+    def _cover(self, var: str, extent: int) -> int:
+        split = self.split_children(var)
+        if split is None:
+            return extent
+        tiles = self._cover(split.outer, -(-extent // split.factor))
+        inner = self._cover(split.inner, split.factor)
+        return (tiles - 1) * split.factor + inner
+
+    def split_padding(self, storage_dim: str) -> int:
+        """An upper bound on ``rounded_extent(d, E) - E`` over all extents.
+
+        Used to pad allocations whose computed region may start anywhere
+        inside the stored region (sliding windows): for a plain split this is
+        ``factor - 1``, matching the classic round-up pad.
+        """
+        split = self.split_children(storage_dim)
+        if split is None:
+            return 0
+        inner_cover = self._cover(split.inner, split.factor)
+        return self.split_padding(split.outer) * split.factor + inner_cover - 1
 
     def vector_width(self) -> int:
         """The widest vectorized dimension's extent (1 if nothing is vectorized)."""

@@ -1,0 +1,201 @@
+"""Greedy shrinking of failing fuzz cases.
+
+A failing (pipeline, schedule, sizes) triple is rarely minimal: most of the
+stages, directives and pixels are bystanders.  :func:`minimize_case` runs a
+fixed set of shrink passes to a fixpoint, keeping a candidate only when it
+*still fails*:
+
+1. **truncation** — make an earlier stage the pipeline output, dropping
+   everything downstream; **stage bypass** — rewire every consumer of a
+   stage to the stage's first input and drop the stage (and its schedule
+   directives);
+2. **stage simplification** — shrink stencils to fewer taps and reductions to
+   extent 2;
+3. **schedule pruning** — drop whole per-function directive lists, then
+   individual directives;
+4. **size shrinking** — walk the realization sizes down a ladder;
+5. **thread reduction** — drop extra thread counts if one suffices.
+
+Shrink candidates that leave the legal schedule space (the compiler rejects
+them with a documented diagnostic) are discarded rather than treated as
+passing — :func:`~repro.fuzz.oracle.run_case` marks them ``invalid``.
+
+The predicate is pluggable (``still_fails``), which keeps the minimizer
+testable without a real compiler bug on hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
+
+from repro.core.pipeline_schedule import Schedule
+from repro.fuzz.oracle import FuzzCase, run_case
+from repro.fuzz.spec import INPUT, PipelineSpec, StageSpec
+
+__all__ = ["minimize_case", "default_still_fails"]
+
+#: Candidate size ladders tried from smallest up (first failing one wins).
+_SIZE_LADDER = ((1, 1), (2, 2), (3, 2), (4, 3), (5, 4), (8, 6))
+
+
+def default_still_fails(case: FuzzCase) -> bool:
+    """True when the differential oracle still reports a genuine failure."""
+    try:
+        report = run_case(case)
+    except Exception:  # noqa: BLE001 - an escaping crash is still a failure
+        return True
+    return (not report.ok) and (not report.invalid)
+
+
+def _bypass_stage(spec: PipelineSpec, name: str) -> Optional[PipelineSpec]:
+    """Drop one (non-output) stage, rewiring its consumers to its first input."""
+    if name == spec.output_name or not any(s.name == name for s in spec.stages):
+        return None
+    target = spec.stage(name)
+    replacement = target.inputs[0] if target.inputs else INPUT
+    stages: List[StageSpec] = []
+    for stage in spec.stages:
+        if stage.name == name:
+            continue
+        inputs = tuple(replacement if i == name else i for i in stage.inputs)
+        stages.append(replace(stage, inputs=inputs))
+    try:
+        return PipelineSpec(spec.seed, spec.input_shape, spec.input_dtype,
+                            tuple(stages)).pruned()
+    except ValueError:
+        return None
+
+
+def _simplify_stage(spec: PipelineSpec, name: str) -> Optional[PipelineSpec]:
+    """A cheaper variant of one stage (fewer taps / shorter reduction)."""
+    stage = spec.stage(name)
+    if stage.kind == "stencil":
+        taps, weights = stage.params
+        if len(taps) > 1:
+            new = replace(stage, params=(tuple(taps[:1]), tuple(weights[:1])))
+        else:
+            return None
+    elif stage.kind == "reduce":
+        op, extent, dx, dy = stage.params
+        if int(extent) > 2:
+            new = replace(stage, params=(op, 2, dx, dy))
+        else:
+            return None
+    else:
+        return None
+    stages = tuple(new if s.name == name else s for s in spec.stages)
+    return PipelineSpec(spec.seed, spec.input_shape, spec.input_dtype, stages)
+
+
+def _schedule_without_directive(schedule: Schedule, func: str,
+                                index: int) -> Schedule:
+    funcs: Dict[str, List] = {name: list(schedule.directives(name))
+                              for name in schedule.funcs()}
+    del funcs[func][index]
+    return Schedule(funcs)
+
+
+def minimize_case(case: FuzzCase,
+                  still_fails: Callable[[FuzzCase], bool] = default_still_fails,
+                  max_rounds: int = 8) -> FuzzCase:
+    """Shrink a failing case while the predicate keeps failing.
+
+    Returns the smallest failing case found (the input itself if nothing
+    shrinks).  Deterministic: passes run in a fixed order to a fixpoint.
+    """
+    if not still_fails(case):
+        return case
+
+    current = case
+    for _round in range(max_rounds):
+        progressed = False
+
+        # 0. truncate: try making each earlier stage the output (shortest
+        # prefix first), dropping everything downstream of it.
+        for cut in range(len(current.spec.stages) - 1):
+            prefix = current.spec.stages[:cut + 1]
+            try:
+                spec = PipelineSpec(current.spec.seed, current.spec.input_shape,
+                                    current.spec.input_dtype, prefix).pruned()
+            except ValueError:
+                continue
+            schedule = current.schedule
+            kept = {s.name for s in spec.stages}
+            for name in schedule.funcs():
+                if name not in kept:
+                    schedule = schedule.without_func(name)
+            candidate = replace(current, spec=spec, schedule=schedule)
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+                break
+
+        # 1. bypass whole stages (latest first: consumers before producers).
+        # The iteration list is captured once; a successful bypass can prune
+        # other stages from `current` (dead diamonds), so skip stale names.
+        for stage in reversed(current.spec.stages):
+            if all(s.name != stage.name for s in current.spec.stages):
+                continue
+            spec = _bypass_stage(current.spec, stage.name)
+            if spec is None:
+                continue
+            candidate = replace(current,
+                                spec=spec,
+                                schedule=current.schedule.without_func(stage.name))
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+
+        # 2. simplify surviving stages in place.
+        for stage in current.spec.stages:
+            spec = _simplify_stage(current.spec, stage.name)
+            if spec is not None:
+                candidate = replace(current, spec=spec)
+                if still_fails(candidate):
+                    current = candidate
+                    progressed = True
+
+        # 3a. drop whole per-function directive lists.
+        for name in current.schedule.funcs():
+            candidate = replace(current,
+                                schedule=current.schedule.without_func(name))
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+
+        # 3b. drop individual directives (rescan after each removal).
+        for name in current.schedule.funcs():
+            index = 0
+            while index < len(current.schedule.directives(name)):
+                candidate = replace(
+                    current,
+                    schedule=_schedule_without_directive(current.schedule, name, index))
+                if still_fails(candidate):
+                    current = candidate
+                    progressed = True
+                else:
+                    index += 1
+
+        # 4. shrink sizes.
+        for sizes in _SIZE_LADDER:
+            if sizes[0] * sizes[1] >= current.sizes[0] * current.sizes[1]:
+                continue
+            candidate = replace(current, sizes=sizes)
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+                break
+
+        # 5. fewer thread counts.
+        if len(current.thread_counts) > 1:
+            for threads in current.thread_counts:
+                candidate = replace(current, thread_counts=(threads,))
+                if still_fails(candidate):
+                    current = candidate
+                    progressed = True
+                    break
+
+        if not progressed:
+            break
+    return current

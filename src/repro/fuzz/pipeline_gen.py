@@ -1,0 +1,312 @@
+"""Seeded random algorithm-graph generation and spec -> Func graph building.
+
+:func:`generate_spec` draws a random :class:`~repro.fuzz.spec.PipelineSpec` —
+a DAG of point-wise stages, stencils, guarded selects and bounded reductions
+over one input image, with mixed dtypes — and :func:`build_pipeline` turns any
+spec into a fresh :class:`~repro.lang.Func` graph plus its input
+:class:`~repro.lang.Buffer`.  Generation is deterministic: the same seed
+always yields the same spec, and the same spec always builds the same
+pipeline (the input image is synthesized from ``spec.seed``).
+
+Expression construction keeps every case *total and bit-reproducible*:
+
+* input-image reads are clamped to the image bounds, so any realization size
+  is legal;
+* ``sqrt`` only sees ``abs(...)`` (no NaNs), divisors and moduli are nonzero
+  constants;
+* values cast from float into integer stages are numerically clamped first,
+  so the cast never overflows (int32 arithmetic itself may wrap, which numpy
+  does identically in every backend);
+* integer stages never multiply two data values (only by small constants),
+  bounding value growth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fuzz.spec import INPUT, DTYPES, PipelineSpec, StageSpec
+from repro.lang import Buffer, Func, RDom, Var, abs_, cast, clamp, max_, min_, select, sqrt
+from repro.types import Float, Int, Type
+
+__all__ = ["GeneratorConfig", "BuiltPipeline", "generate_spec", "build_pipeline",
+           "generate_pipeline", "input_image_for"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the pipeline generator (defaults match the corpus)."""
+
+    min_stages: int = 2
+    max_stages: int = 7
+    max_arity: int = 2           # inputs per stage
+    max_tap_offset: int = 2      # |dx|, |dy| of stencil taps
+    max_taps: int = 5
+    max_reduce_extent: int = 5
+    input_shapes: Tuple[Tuple[int, int], ...] = ((16, 12), (24, 16), (13, 9))
+    dtypes: Tuple[str, ...] = DTYPES
+    #: Probability weights per stage kind.
+    kind_weights: Tuple[Tuple[str, float], ...] = (
+        ("pointwise", 0.40), ("stencil", 0.30), ("select", 0.15), ("reduce", 0.15),
+    )
+
+
+_FLOAT_POINTWISE_OPS = ("affine", "add", "sub", "mul", "min", "max",
+                        "abs", "sqrt_abs", "div_const")
+_INT_POINTWISE_OPS = ("affine", "add", "sub", "min", "max", "abs",
+                      "div_const", "mod_const")
+
+
+def _is_float(dtype: str) -> bool:
+    return dtype.startswith("float")
+
+
+def _random_const(rng: random.Random, dtype: str, lo: float = -4.0, hi: float = 4.0):
+    if _is_float(dtype):
+        # Small multiples of 1/8: exactly representable, so constant folding
+        # and runtime arithmetic agree to the bit.
+        return rng.randrange(int(lo * 8), int(hi * 8) + 1) / 8.0
+    return rng.randrange(int(lo), int(hi) + 1)
+
+
+def _random_pointwise(rng: random.Random, dtype: str, arity: int) -> Tuple:
+    ops = _FLOAT_POINTWISE_OPS if _is_float(dtype) else _INT_POINTWISE_OPS
+    binary = {"add", "sub", "mul", "min", "max"}
+    op = rng.choice([o for o in ops if arity >= 2 or o not in binary])
+    if op == "affine":
+        return ("affine", _random_const(rng, dtype), _random_const(rng, dtype))
+    if op == "div_const":
+        return ("div_const", rng.choice((2, 3, 4, 8)))
+    if op == "mod_const":
+        return ("mod_const", rng.choice((3, 5, 7, 16)))
+    return (op,)
+
+
+def _random_stencil(rng: random.Random, dtype: str, config: GeneratorConfig) -> Tuple:
+    num_taps = rng.randint(2, config.max_taps)
+    offsets = set()
+    while len(offsets) < num_taps:
+        offsets.add((rng.randint(-config.max_tap_offset, config.max_tap_offset),
+                     rng.randint(-config.max_tap_offset, config.max_tap_offset)))
+    taps = tuple(sorted(offsets))
+    weights = tuple(_random_const(rng, dtype, -3, 3) for _ in taps)
+    return (taps, weights)
+
+
+def _random_select(rng: random.Random, dtype: str, arity: int) -> Tuple:
+    if arity >= 2 and rng.random() < 0.5:
+        return ("cmp", _random_const(rng, dtype))
+    modulus = rng.choice((2, 3, 4))
+    return ("stripe", modulus, rng.randrange(modulus))
+
+
+def _random_reduce(rng: random.Random, config: GeneratorConfig) -> Tuple:
+    op = rng.choice(("sum", "min", "max"))
+    extent = rng.randint(2, config.max_reduce_extent)
+    direction = rng.choice(((1, 0), (0, 1), (1, 1), (-1, 1)))
+    return (op, extent, direction[0], direction[1])
+
+
+def generate_spec(seed: int, config: Optional[GeneratorConfig] = None) -> PipelineSpec:
+    """Draw a random pipeline spec.  Deterministic in ``seed``."""
+    config = config or GeneratorConfig()
+    # String seeds hash via sha512 (stable across processes), unlike tuples,
+    # whose hash() is randomized per process by PYTHONHASHSEED.
+    rng = random.Random(f"repro-fuzz-pipeline-{int(seed)}")
+    num_stages = rng.randint(config.min_stages, config.max_stages)
+    input_shape = rng.choice(config.input_shapes)
+    input_dtype = rng.choice(("float32", "float32", "int32"))
+
+    stages: List[StageSpec] = []
+    producers: List[str] = []   # candidate inputs for later stages
+
+    for i in range(num_stages):
+        name = f"s{i}"
+        dtype = rng.choice(config.dtypes)
+        kind = rng.choices([k for k, _ in config.kind_weights],
+                           [w for _, w in config.kind_weights])[0]
+        # Bias reads toward recent stages (deep chains) but allow fan-out
+        # (diamonds) and direct input reads.
+        candidates = [INPUT] + producers
+        primary = producers[-1] if producers and rng.random() < 0.7 else rng.choice(candidates)
+
+        if kind in ("stencil", "reduce"):
+            inputs: Tuple[str, ...] = (primary,)
+            params = (_random_stencil(rng, dtype, config) if kind == "stencil"
+                      else _random_reduce(rng, config))
+        else:
+            arity = 1 if rng.random() < 0.4 else min(2, config.max_arity)
+            if arity == 2:
+                inputs = (primary, rng.choice(candidates))
+            else:
+                inputs = (primary,)
+            params = (_random_pointwise(rng, dtype, len(inputs))
+                      if kind == "pointwise" else _random_select(rng, dtype, len(inputs)))
+            params = params if kind == "pointwise" else params
+        stages.append(StageSpec(name, kind, inputs, dtype, params))
+        producers.append(name)
+
+    # The output stage must be float or int — it already is; prune dead stages
+    # so every stage participates in the differential run.
+    return PipelineSpec(int(seed), input_shape, input_dtype, tuple(stages)).pruned()
+
+
+# ---------------------------------------------------------------------------
+# building specs into Func graphs
+# ---------------------------------------------------------------------------
+
+_TYPE_BY_NAME: Dict[str, Type] = {
+    "float32": Float(32),
+    "float64": Float(64),
+    "int32": Int(32),
+}
+
+
+@dataclass
+class BuiltPipeline:
+    """A spec realized as a live Func graph (fresh objects every build)."""
+
+    spec: PipelineSpec
+    output: Func
+    funcs: Dict[str, Func]
+    input_buffer: Buffer
+
+    @property
+    def output_name(self) -> str:
+        return self.output.name
+
+
+def input_image_for(spec: PipelineSpec) -> np.ndarray:
+    """The deterministic input image a spec's pipeline reads."""
+    import hashlib
+
+    key = f"repro-fuzz-image-{spec.seed}-{spec.input_shape}-{spec.input_dtype}"
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    shape = spec.input_shape
+    if _is_float(spec.input_dtype):
+        return (rng.random(shape) * 2.0 - 0.5).astype(spec.input_dtype)
+    return rng.integers(0, 17, size=shape).astype(spec.input_dtype)
+
+
+def _clamped_input_read(buffer: Buffer, ex, ey):
+    w, h = buffer.shape[0], buffer.shape[1]
+    return buffer[clamp(ex, 0, w - 1), clamp(ey, 0, h - 1)]
+
+
+def build_pipeline(spec: PipelineSpec) -> BuiltPipeline:
+    """Construct a fresh Func graph for a spec (no shared state with prior builds)."""
+    x, y = Var("x"), Var("y")
+    input_buffer = Buffer(input_image_for(spec), name="in")
+    funcs: Dict[str, Func] = {}
+
+    def read(name: str, ex, ey, dtype: Type):
+        """Read one input of a stage at (ex, ey), cast to the stage's type."""
+        if name == INPUT:
+            raw = _clamped_input_read(input_buffer, ex, ey)
+            src_float = _is_float(spec.input_dtype)
+        else:
+            raw = funcs[name][ex, ey]
+            src_float = _is_float(spec.stage(name).dtype)
+        if not dtype.is_float() and src_float:
+            # Bound the magnitude before a float -> int cast so the cast can
+            # never overflow (int arithmetic afterwards may wrap; the cast
+            # itself must not be undefined).
+            raw = min_(max_(raw, -1048576.0), 1048576.0)
+        return cast(dtype, raw)
+
+    for stage in spec.stages:
+        dtype = _TYPE_BY_NAME[stage.dtype]
+        f = Func(stage.name)
+        if stage.kind == "pointwise":
+            f[x, y] = _pointwise_value(stage, read, x, y, dtype)
+        elif stage.kind == "stencil":
+            f[x, y] = _stencil_value(stage, read, x, y, dtype)
+        elif stage.kind == "select":
+            f[x, y] = _select_value(stage, read, x, y, dtype)
+        elif stage.kind == "reduce":
+            op, extent, dx, dy = stage.params
+            r = RDom(0, int(extent), name=f"r_{stage.name}")
+            src = stage.inputs[0]
+            sample = read(src, x + int(dx) * r.x, y + int(dy) * r.x, dtype)
+            if op == "sum":
+                f[x, y] = cast(dtype, 0)
+                f[x, y] = f[x, y] + sample
+            elif op == "min":
+                f[x, y] = cast(dtype, dtype.max_value())
+                f[x, y] = min_(f[x, y], sample)
+            else:
+                f[x, y] = cast(dtype, dtype.min_value())
+                f[x, y] = max_(f[x, y], sample)
+        else:  # pragma: no cover - guarded by StageSpec validation
+            raise ValueError(f"unknown stage kind {stage.kind!r}")
+        funcs[stage.name] = f
+
+    return BuiltPipeline(spec, funcs[spec.output_name], funcs, input_buffer)
+
+
+def _pointwise_value(stage: StageSpec, read, x, y, dtype: Type):
+    op = stage.params[0]
+    a = read(stage.inputs[0], x, y, dtype)
+    if op == "affine":
+        scale, offset = stage.params[1], stage.params[2]
+        return cast(dtype, a * _imm(dtype, scale) + _imm(dtype, offset))
+    if op == "div_const":
+        return cast(dtype, a / _imm(dtype, stage.params[1]))
+    if op == "mod_const":
+        return cast(dtype, a % int(stage.params[1]))
+    if op == "abs":
+        return cast(dtype, abs_(a))
+    if op == "sqrt_abs":
+        return cast(dtype, sqrt(abs_(a)))
+    b = read(stage.inputs[1] if len(stage.inputs) > 1 else stage.inputs[0], x, y, dtype)
+    if op == "add":
+        return cast(dtype, a + b)
+    if op == "sub":
+        return cast(dtype, a - b)
+    if op == "mul":
+        return cast(dtype, a * b)
+    if op == "min":
+        return cast(dtype, min_(a, b))
+    if op == "max":
+        return cast(dtype, max_(a, b))
+    raise ValueError(f"unknown pointwise op {op!r}")
+
+
+def _stencil_value(stage: StageSpec, read, x, y, dtype: Type):
+    taps, weights = stage.params
+    src = stage.inputs[0]
+    total = None
+    for (dx, dy), w in zip(taps, weights):
+        term = read(src, x + int(dx), y + int(dy), dtype) * _imm(dtype, w)
+        total = term if total is None else total + term
+    return cast(dtype, total)
+
+
+def _select_value(stage: StageSpec, read, x, y, dtype: Type):
+    mode = stage.params[0]
+    a = read(stage.inputs[0], x, y, dtype)
+    b = (read(stage.inputs[1], x, y, dtype) if len(stage.inputs) > 1
+         else cast(dtype, a * _imm(dtype, 2 if not dtype.is_float() else 0.5)))
+    if mode == "cmp":
+        threshold = _imm(dtype, stage.params[1])
+        return cast(dtype, select(a < b + threshold, a, b))
+    modulus, residue = int(stage.params[1]), int(stage.params[2])
+    return cast(dtype, select((x + y) % modulus == residue, a, b))
+
+
+def _imm(dtype: Type, value):
+    """A constant of the stage's type (keeps int stages free of float promotion)."""
+    if dtype.is_float():
+        return float(value)
+    return int(value)
+
+
+def generate_pipeline(seed: int,
+                      config: Optional[GeneratorConfig] = None) -> BuiltPipeline:
+    """Generate and build the random pipeline for ``seed`` in one step."""
+    return build_pipeline(generate_spec(seed, config))

@@ -1,0 +1,91 @@
+"""Seeded random *legal* schedule generation for generated pipelines.
+
+Reuses the autotuner's genome machinery
+(:mod:`repro.autotuner.search_space` / :mod:`repro.autotuner.random_schedule`)
+over a widened space (:func:`~repro.autotuner.random_schedule.fuzz_genome`:
+reorders, guarded split tails, non-power-of-two factors) and emits the result
+as a first-class, serializable :class:`~repro.core.Schedule` value.
+
+"Legal" means the schedule materializes onto the pipeline's functions and
+the compiler accepts it through a full symbolic lowering.  Candidates the
+compiler rejects *with a documented diagnostic* —
+:class:`~repro.core.schedule.ScheduleError`,
+:class:`~repro.compiler.vectorize.VectorizeError`,
+:class:`~repro.compiler.unroll.UnrollError` — are resampled: those are
+schedules the system declares illegal, so they are not findings.  Any other
+exception escapes: a schedule that validation accepts but lowering chokes on
+is exactly the kind of bug the fuzzer exists to surface.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.analysis.call_graph import build_environment, find_direct_calls
+from repro.autotuner.random_schedule import breadth_first_genome, fuzz_genome
+from repro.compiler.unroll import UnrollError
+from repro.compiler.vectorize import VectorizeError
+from repro.core.function import Function
+from repro.core.pipeline_schedule import Schedule
+from repro.core.schedule import ScheduleError
+from repro.fuzz.pipeline_gen import BuiltPipeline
+from repro.pipeline import Pipeline
+
+__all__ = ["generate_schedule", "generate_schedules", "consumer_map",
+           "REJECTION_ERRORS"]
+
+#: Exceptions that mean "this candidate is documented-illegal; resample",
+#: as opposed to findings.  Kept narrow on purpose: anything else escapes.
+REJECTION_ERRORS = (ScheduleError, VectorizeError, UnrollError)
+
+#: Candidates drawn before falling back to the always-legal breadth-first
+#: schedule.  In practice a legal candidate is found within a few draws.
+MAX_ATTEMPTS = 25
+
+
+def consumer_map(env: Dict[str, Function]) -> Dict[str, List[str]]:
+    """producer name -> names of functions that call it (the genome's input)."""
+    consumers: Dict[str, List[str]] = {name: [] for name in env}
+    for name, func in env.items():
+        for callee in find_direct_calls(func):
+            if callee in consumers:
+                consumers[callee].append(name)
+    return consumers
+
+
+def generate_schedule(built: BuiltPipeline, seed: int) -> Schedule:
+    """Draw one legal random Schedule for a built pipeline.  Deterministic in
+    ``seed`` (given the same pipeline)."""
+    return generate_schedules(built, seed, count=1)[0]
+
+
+def generate_schedules(built: BuiltPipeline, seed: int, count: int) -> List[Schedule]:
+    """Draw ``count`` legal random Schedules from one seeded stream."""
+    rng = random.Random(f"repro-fuzz-schedule-{int(seed)}")
+    env = build_environment([built.output.function])
+    consumers = consumer_map(env)
+    output_name = built.output.name
+    pipeline = Pipeline(built.output)
+
+    result: List[Schedule] = []
+    for _ in range(count):
+        schedule: Optional[Schedule] = None
+        for _attempt in range(MAX_ATTEMPTS):
+            genome = fuzz_genome(env, consumers, output_name, rng)
+            try:
+                candidate = genome.to_schedule(env, output_name)
+                # Symbolic lowering runs the schedule validator over the real
+                # loop nests (compute_at levels must exist in the consumer's
+                # nest, vectorized dims need constant extents, ...), which
+                # materialization alone cannot check.
+                pipeline.lower(schedule=candidate)
+            except REJECTION_ERRORS:
+                continue
+            schedule = candidate
+            break
+        if schedule is None:
+            schedule = (breadth_first_genome(env)
+                        .to_schedule(env, output_name))
+        result.append(schedule)
+    return result

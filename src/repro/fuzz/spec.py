@@ -1,0 +1,199 @@
+"""Plain-data pipeline specifications: what the fuzzer generates and shrinks.
+
+The generator never hands out live :class:`~repro.lang.Func` graphs directly —
+it produces a :class:`PipelineSpec`, a JSON-serializable value describing a
+DAG of stages over one input image.  The builder
+(:func:`repro.fuzz.pipeline_gen.build_pipeline`) turns a spec into a fresh
+Func graph on demand.  Keeping the description as data is what makes the rest
+of the subsystem cheap: minimization edits specs, repro scripts embed specs,
+and a failing case replays from its JSON alone, with no pickling and no
+dependence on generator internals.
+
+A stage is one of four kinds (mirroring the expression shapes real pipelines
+are made of):
+
+* ``pointwise`` — an arithmetic combination of its input(s) at the same point
+  (affine transforms, add/sub/mul/min/max, division by a constant, ``abs``,
+  ``sqrt(abs(.))``, integer modulo);
+* ``stencil`` — a weighted sum of taps of one input at constant offsets;
+* ``select`` — a guarded expression choosing between two values by a
+  coordinate stripe or a data comparison;
+* ``reduce`` — a bounded reduction (sum/min/max) over a line of samples of
+  one input, expressed as an initial pure definition plus an RDom update.
+
+Reads of the pipeline's input image are always clamped to the image bounds,
+so every spec is total for any realization size.  Reads of producer stages
+are *not* clamped — bounds inference must grow producer regions to cover
+consumer footprints, which is exactly the machinery under test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["StageSpec", "PipelineSpec", "INPUT", "SPEC_FORMAT_VERSION"]
+
+#: The pseudo-name stages use to read the pipeline's input image.
+INPUT = "__input__"
+
+SPEC_FORMAT_VERSION = 1
+
+#: dtype name -> (is_float, numpy dtype name).  The fuzzer sticks to types
+#: whose arithmetic is bit-reproducible across all backends.
+DTYPES = ("float32", "float64", "int32")
+
+STAGE_KINDS = ("pointwise", "stencil", "select", "reduce")
+
+
+def _as_plain(value):
+    """Normalize nested tuples to lists for JSON round-tripping."""
+    if isinstance(value, (tuple, list)):
+        return [_as_plain(v) for v in value]
+    return value
+
+
+def _as_hashable(value):
+    if isinstance(value, (tuple, list)):
+        return tuple(_as_hashable(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a generated pipeline (plain data, hashable)."""
+
+    name: str
+    kind: str                     # one of STAGE_KINDS
+    inputs: Tuple[str, ...]       # producer stage names, or INPUT
+    dtype: str                    # one of DTYPES
+    params: Tuple = ()            # kind-specific plain data
+
+    def __post_init__(self):
+        if self.kind not in STAGE_KINDS:
+            raise ValueError(f"unknown stage kind {self.kind!r}")
+        if self.dtype not in DTYPES:
+            raise ValueError(f"unknown stage dtype {self.dtype!r}")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "params", _as_hashable(self.params))
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "inputs": list(self.inputs),
+            "dtype": self.dtype,
+            "params": _as_plain(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StageSpec":
+        return cls(
+            name=str(data["name"]),
+            kind=str(data["kind"]),
+            inputs=tuple(data["inputs"]),
+            dtype=str(data["dtype"]),
+            params=_as_hashable(data.get("params", ())),
+        )
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A complete generated algorithm: input image + a DAG of stages.
+
+    ``stages`` is in topological order (producers first); the last stage is
+    the pipeline output.  ``input_shape``/``input_dtype`` describe the
+    concrete input :class:`~repro.lang.Buffer` the builder synthesizes
+    (deterministically from ``seed``, so equal specs build equal pipelines).
+    """
+
+    seed: int
+    input_shape: Tuple[int, int]
+    input_dtype: str
+    stages: Tuple[StageSpec, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "input_shape", tuple(int(s) for s in self.input_shape))
+        object.__setattr__(self, "stages", tuple(self.stages))
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in spec: {names}")
+        seen = {INPUT}
+        for stage in self.stages:
+            for inp in stage.inputs:
+                if inp not in seen:
+                    raise ValueError(
+                        f"stage {stage.name!r} reads {inp!r} before it is defined "
+                        "(stages must be topologically ordered)"
+                    )
+            seen.add(stage.name)
+
+    @property
+    def output_name(self) -> str:
+        return self.stages[-1].name
+
+    def stage(self, name: str) -> StageSpec:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def live_stages(self) -> Tuple[StageSpec, ...]:
+        """The stages actually reachable from the output (dead stages dropped)."""
+        needed = {self.output_name}
+        keep: List[StageSpec] = []
+        for stage in reversed(self.stages):
+            if stage.name in needed:
+                keep.append(stage)
+                needed.update(stage.inputs)
+        return tuple(reversed(keep))
+
+    def pruned(self) -> "PipelineSpec":
+        """A spec with unreachable stages removed."""
+        live = self.live_stages()
+        if len(live) == len(self.stages):
+            return self
+        return PipelineSpec(self.seed, self.input_shape, self.input_dtype, live)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "version": SPEC_FORMAT_VERSION,
+            "seed": int(self.seed),
+            "input_shape": list(self.input_shape),
+            "input_dtype": self.input_dtype,
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PipelineSpec":
+        version = data.get("version", SPEC_FORMAT_VERSION)
+        if version != SPEC_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported spec format version {version!r} "
+                f"(this build reads version {SPEC_FORMAT_VERSION})"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            input_shape=tuple(data["input_shape"]),
+            input_dtype=str(data["input_dtype"]),
+            stages=tuple(StageSpec.from_dict(s) for s in data["stages"]),
+        )
+
+    def to_json(self, indent=None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """A compact one-stage-per-line rendering (for logs and reports)."""
+        lines = [f"input: shape={self.input_shape} dtype={self.input_dtype}"]
+        for s in self.stages:
+            lines.append(f"{s.name}: {s.kind}({', '.join(s.inputs)}) "
+                         f"dtype={s.dtype} params={s.params}")
+        return "\n".join(lines)

@@ -23,7 +23,6 @@ same pipeline and schedule.
 
 from __future__ import annotations
 
-import math
 from collections import OrderedDict, namedtuple
 from dataclasses import astuple
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -172,8 +171,7 @@ class CompiledPipeline:
             executor.bind(f"{output.name}.{dim}.min", 0)
             executor.bind(f"{output.name}.{dim}.extent", size)
             executor.bind(f"{output.name}.{dim}.max", size - 1)
-            factor = output.schedule.total_split_factor(dim)
-            rounded_shape.append(int(math.ceil(size / factor) * factor))
+            rounded_shape.append(int(output.schedule.rounded_extent(dim, size)))
 
         # Bind scalar parameters.
         for name, value in (params or {}).items():

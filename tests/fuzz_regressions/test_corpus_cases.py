@@ -1,0 +1,2887 @@
+"""Fuzz regression corpus: the 10 gnarliest minimized-format cases.
+
+Selected from the pinned seed-0..399 corpus by a gnarliness score (stage
+count, kind/dtype diversity, directive count, guarded tails, compute_at
+chains, reorders, degenerate sizes).  Each case is embedded as plain JSON —
+replay does not involve the generator, so these keep exercising today's
+shapes even after the generator evolves.
+
+Every case must stay bit-identical across interp/numpy/compiled x threads
+{1, 4}; a failure here is a backend/lowering regression, not a flake.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz import FuzzCase, run_case
+
+_CASES_JSON = r'''
+[
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      16,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      8,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_at",
+      "s1",
+      "y"
+     ]
+    ],
+    "s1": [
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "parallel",
+      "y_i"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "y_i",
+      "y_i_o",
+      "y_i_i",
+      6,
+      "guard_with_if"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i_i",
+       "y_i_o",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "parallel",
+      "y_i_i"
+     ],
+     [
+      "parallel",
+      "y_i_o"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s6": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 86,
+  "sizes": [
+   1,
+   1
+  ],
+  "spec": {
+   "input_dtype": "int32",
+   "input_shape": [
+    16,
+    12
+   ],
+   "seed": 86,
+   "stages": [
+    {
+     "dtype": "float32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "select",
+     "name": "s0",
+     "params": [
+      "stripe",
+      3,
+      0
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "stencil",
+     "name": "s1",
+     "params": [
+      [
+       [
+        -2,
+        0
+       ],
+       [
+        -1,
+        0
+       ],
+       [
+        1,
+        -1
+       ]
+      ],
+      [
+       -1.0,
+       -2.375,
+       0.375
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "stencil",
+     "name": "s2",
+     "params": [
+      [
+       [
+        -2,
+        -1
+       ],
+       [
+        -2,
+        1
+       ],
+       [
+        0,
+        1
+       ],
+       [
+        0,
+        2
+       ]
+      ],
+      [
+       1.75,
+       -1.875,
+       -2.375,
+       2.875
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "stencil",
+     "name": "s3",
+     "params": [
+      [
+       [
+        0,
+        2
+       ],
+       [
+        1,
+        -1
+       ],
+       [
+        1,
+        0
+       ]
+      ],
+      [
+       -0.125,
+       -1.75,
+       2.0
+      ]
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "pointwise",
+     "name": "s4",
+     "params": [
+      "div_const",
+      2
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "reduce",
+     "name": "s5",
+     "params": [
+      "min",
+      2,
+      1,
+      1
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s5"
+     ],
+     "kind": "pointwise",
+     "name": "s6",
+     "params": [
+      "mod_const",
+      3
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_o",
+      "x_i_i",
+      6,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_i",
+       "x_i_o",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_at",
+      "s2",
+      "y"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      4,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_at",
+      "s2",
+      "y"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      16,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ]
+    ],
+    "s6": [
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 187,
+  "sizes": [
+   16,
+   12
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    16,
+    12
+   ],
+   "seed": 187,
+   "stages": [
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__",
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s0",
+     "params": [
+      "abs"
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "select",
+     "name": "s1",
+     "params": [
+      "stripe",
+      3,
+      1
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0",
+      "s1"
+     ],
+     "kind": "select",
+     "name": "s2",
+     "params": [
+      "cmp",
+      1.875
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "reduce",
+     "name": "s3",
+     "params": [
+      "max",
+      4,
+      -1,
+      1
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "stencil",
+     "name": "s4",
+     "params": [
+      [
+       [
+        -1,
+        -2
+       ],
+       [
+        2,
+        -2
+       ]
+      ],
+      [
+       1.75,
+       2.0
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "stencil",
+     "name": "s5",
+     "params": [
+      [
+       [
+        -2,
+        -1
+       ],
+       [
+        1,
+        0
+       ],
+       [
+        2,
+        -1
+       ]
+      ],
+      [
+       1,
+       2,
+       0
+      ]
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s5"
+     ],
+     "kind": "pointwise",
+     "name": "s6",
+     "params": [
+      "abs"
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      6,
+      "round_up"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "reorder",
+      [
+       "y",
+       "x"
+      ]
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      4,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "parallel",
+      "y_o"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      5,
+      "round_up"
+     ],
+     [
+      "compute_at",
+      "s4",
+      "x"
+     ]
+    ],
+    "s4": [
+     [
+      "reorder",
+      [
+       "y",
+       "x"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      4,
+      "round_up"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s6": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 64,
+  "sizes": [
+   1,
+   1
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    24,
+    16
+   ],
+   "seed": 64,
+   "stages": [
+    {
+     "dtype": "float64",
+     "inputs": [
+      "__input__",
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s0",
+     "params": [
+      "abs"
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "select",
+     "name": "s1",
+     "params": [
+      "stripe",
+      2,
+      1
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s1",
+      "s0"
+     ],
+     "kind": "pointwise",
+     "name": "s2",
+     "params": [
+      "mul"
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "stencil",
+     "name": "s3",
+     "params": [
+      [
+       [
+        -2,
+        2
+       ],
+       [
+        -1,
+        -1
+       ],
+       [
+        -1,
+        0
+       ],
+       [
+        -1,
+        2
+       ],
+       [
+        2,
+        1
+       ]
+      ],
+      [
+       1,
+       0,
+       3,
+       -1,
+       1
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s1",
+      "s3"
+     ],
+     "kind": "pointwise",
+     "name": "s4",
+     "params": [
+      "max"
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "reduce",
+     "name": "s5",
+     "params": [
+      "max",
+      3,
+      1,
+      0
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s5",
+      "s2"
+     ],
+     "kind": "pointwise",
+     "name": "s6",
+     "params": [
+      "max"
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "y",
+       "x_vi",
+       "x_vo"
+      ]
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      7,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_uo",
+      "x_i_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_i_ui"
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      8,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "y_i",
+       "y_o",
+       "x_ui",
+       "x_uo"
+      ]
+     ],
+     [
+      "parallel",
+      "y_i"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      8,
+      "guard_with_if"
+     ],
+     [
+      "reorder",
+      [
+       "y",
+       "x_i",
+       "x_o"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s6": [
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 120,
+  "sizes": [
+   17,
+   13
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    13,
+    9
+   ],
+   "seed": 120,
+   "stages": [
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__",
+      "__input__"
+     ],
+     "kind": "select",
+     "name": "s0",
+     "params": [
+      "cmp",
+      -1
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "pointwise",
+     "name": "s1",
+     "params": [
+      "sqrt_abs"
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "reduce",
+     "name": "s2",
+     "params": [
+      "sum",
+      3,
+      0,
+      1
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s2",
+      "s0"
+     ],
+     "kind": "select",
+     "name": "s4",
+     "params": [
+      "cmp",
+      0.875
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "select",
+     "name": "s5",
+     "params": [
+      "stripe",
+      2,
+      1
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s5"
+     ],
+     "kind": "pointwise",
+     "name": "s6",
+     "params": [
+      "sqrt_abs"
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "parallel",
+      "y"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      16,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_uo",
+      "x_i_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_ui",
+       "x_i_uo",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "unroll",
+      "x_i_ui"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      16,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_uo",
+      "x_i_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_ui",
+       "x_i_uo",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "unroll",
+      "x_i_ui"
+     ],
+     [
+      "parallel",
+      "y_i"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s6": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      32,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "parallel",
+      "y_i"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 192,
+  "sizes": [
+   11,
+   7
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    13,
+    9
+   ],
+   "seed": 192,
+   "stages": [
+    {
+     "dtype": "float32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s0",
+     "params": [
+      "affine",
+      0.875,
+      2.25
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__",
+      "s0"
+     ],
+     "kind": "pointwise",
+     "name": "s1",
+     "params": [
+      "mod_const",
+      5
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "stencil",
+     "name": "s2",
+     "params": [
+      [
+       [
+        -1,
+        -2
+       ],
+       [
+        0,
+        0
+       ],
+       [
+        1,
+        2
+       ],
+       [
+        2,
+        2
+       ]
+      ],
+      [
+       2.25,
+       2.625,
+       1.875,
+       1.625
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s2",
+      "s0"
+     ],
+     "kind": "pointwise",
+     "name": "s3",
+     "params": [
+      "min"
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s3",
+      "s2"
+     ],
+     "kind": "pointwise",
+     "name": "s4",
+     "params": [
+      "mod_const",
+      7
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "reduce",
+     "name": "s5",
+     "params": [
+      "min",
+      3,
+      1,
+      0
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s5"
+     ],
+     "kind": "reduce",
+     "name": "s6",
+     "params": [
+      "min",
+      3,
+      -1,
+      1
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      4,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      4,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_uo",
+      "x_i_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_ui",
+       "x_i_uo",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "unroll",
+      "x_i_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "reorder",
+      [
+       "y",
+       "x"
+      ]
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      16,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_at",
+      "s5",
+      "y"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "y",
+       "x_ui",
+       "x_uo"
+      ]
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 233,
+  "sizes": [
+   5,
+   4
+  ],
+  "spec": {
+   "input_dtype": "int32",
+   "input_shape": [
+    24,
+    16
+   ],
+   "seed": 233,
+   "stages": [
+    {
+     "dtype": "float32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "reduce",
+     "name": "s0",
+     "params": [
+      "sum",
+      2,
+      1,
+      0
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "reduce",
+     "name": "s1",
+     "params": [
+      "sum",
+      5,
+      0,
+      1
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "pointwise",
+     "name": "s2",
+     "params": [
+      "div_const",
+      2
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "pointwise",
+     "name": "s3",
+     "params": [
+      "affine",
+      -3,
+      0
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "stencil",
+     "name": "s4",
+     "params": [
+      [
+       [
+        -2,
+        -2
+       ],
+       [
+        1,
+        -2
+       ],
+       [
+        1,
+        0
+       ],
+       [
+        2,
+        2
+       ]
+      ],
+      [
+       -1.375,
+       1.0,
+       -1.75,
+       2.375
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s4",
+      "s1"
+     ],
+     "kind": "select",
+     "name": "s5",
+     "params": [
+      "cmp",
+      1
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "reorder",
+      [
+       "y",
+       "x"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      16,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      16,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_vo",
+      "x_i_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_vi",
+       "x_i_vo",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "vectorize",
+      "x_i_vi"
+     ],
+     [
+      "parallel",
+      "y_i"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      7,
+      "round_up"
+     ],
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_at",
+      "s4",
+      "y"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "y",
+       "x_ui",
+       "x_uo"
+      ]
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_at",
+      "s6",
+      "x"
+     ]
+    ],
+    "s6": [
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 206,
+  "sizes": [
+   7,
+   5
+  ],
+  "spec": {
+   "input_dtype": "int32",
+   "input_shape": [
+    24,
+    16
+   ],
+   "seed": 206,
+   "stages": [
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "reduce",
+     "name": "s0",
+     "params": [
+      "max",
+      2,
+      -1,
+      1
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "stencil",
+     "name": "s1",
+     "params": [
+      [
+       [
+        -2,
+        2
+       ],
+       [
+        0,
+        2
+       ],
+       [
+        2,
+        0
+       ]
+      ],
+      [
+       1.75,
+       0.625,
+       0.75
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s1",
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s2",
+     "params": [
+      "affine",
+      -3.75,
+      -0.5
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "stencil",
+     "name": "s3",
+     "params": [
+      [
+       [
+        -2,
+        -2
+       ],
+       [
+        -2,
+        0
+       ],
+       [
+        1,
+        -2
+       ],
+       [
+        2,
+        -2
+       ]
+      ],
+      [
+       1.875,
+       0.0,
+       1.625,
+       -0.625
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s3",
+      "s0"
+     ],
+     "kind": "select",
+     "name": "s4",
+     "params": [
+      "cmp",
+      3
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s4",
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s6",
+     "params": [
+      "add"
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      6,
+      "guard_with_if"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_vo",
+      "x_i_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      5,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_i_vi"
+     ]
+    ],
+    "s1": [
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      4,
+      "guard_with_if"
+     ],
+     [
+      "parallel",
+      "y_i"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      16,
+      "round_up"
+     ],
+     [
+      "split",
+      "y_i",
+      "y_i_o",
+      "y_i_i",
+      2,
+      "guard_with_if"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i_i",
+       "y_i_o",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      16,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "y_i",
+       "y_o",
+       "x"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 232,
+  "sizes": [
+   2,
+   3
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    16,
+    12
+   ],
+   "seed": 232,
+   "stages": [
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "select",
+     "name": "s0",
+     "params": [
+      "stripe",
+      3,
+      2
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s0",
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s1",
+     "params": [
+      "sub"
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "select",
+     "name": "s2",
+     "params": [
+      "stripe",
+      3,
+      2
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "reduce",
+     "name": "s3",
+     "params": [
+      "sum",
+      5,
+      -1,
+      1
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "reduce",
+     "name": "s4",
+     "params": [
+      "min",
+      5,
+      -1,
+      1
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "reduce",
+     "name": "s5",
+     "params": [
+      "sum",
+      3,
+      -1,
+      1
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "parallel",
+      "y"
+     ]
+    ],
+    "s1": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "y_i",
+       "y_o",
+       "x_ui",
+       "x_uo"
+      ]
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "parallel",
+      "y"
+     ]
+    ],
+    "s6": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      16,
+      "round_up"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 354,
+  "sizes": [
+   1,
+   1
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    13,
+    9
+   ],
+   "seed": 354,
+   "stages": [
+    {
+     "dtype": "float32",
+     "inputs": [
+      "__input__",
+      "__input__"
+     ],
+     "kind": "select",
+     "name": "s0",
+     "params": [
+      "stripe",
+      2,
+      1
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s0",
+      "s0"
+     ],
+     "kind": "pointwise",
+     "name": "s1",
+     "params": [
+      "mul"
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "pointwise",
+     "name": "s2",
+     "params": [
+      "abs"
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s2",
+      "s1"
+     ],
+     "kind": "pointwise",
+     "name": "s3",
+     "params": [
+      "div_const",
+      4
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "stencil",
+     "name": "s4",
+     "params": [
+      [
+       [
+        -1,
+        2
+       ],
+       [
+        2,
+        2
+       ]
+      ],
+      [
+       -1.125,
+       -0.5
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s4",
+      "s3"
+     ],
+     "kind": "pointwise",
+     "name": "s5",
+     "params": [
+      "sqrt_abs"
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s5"
+     ],
+     "kind": "stencil",
+     "name": "s6",
+     "params": [
+      [
+       [
+        1,
+        0
+       ],
+       [
+        1,
+        2
+       ]
+      ],
+      [
+       -1.25,
+       0.875
+      ]
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "reorder",
+      [
+       "y",
+       "x"
+      ]
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_vo",
+      "x_i_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_vi",
+       "x_i_vo",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "vectorize",
+      "x_i_vi"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "reorder",
+      [
+       "y",
+       "x"
+      ]
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      32,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "parallel",
+      "y_i"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 146,
+  "sizes": [
+   7,
+   5
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    24,
+    16
+   ],
+   "seed": 146,
+   "stages": [
+    {
+     "dtype": "float64",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "reduce",
+     "name": "s0",
+     "params": [
+      "sum",
+      5,
+      0,
+      1
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "stencil",
+     "name": "s1",
+     "params": [
+      [
+       [
+        -2,
+        0
+       ],
+       [
+        -1,
+        1
+       ]
+      ],
+      [
+       -1.375,
+       0.625
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s3",
+     "params": [
+      "div_const",
+      4
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "stencil",
+     "name": "s4",
+     "params": [
+      [
+       [
+        -2,
+        -2
+       ],
+       [
+        -2,
+        -1
+       ],
+       [
+        -1,
+        -2
+       ]
+      ],
+      [
+       -0.875,
+       -2.875,
+       -1.125
+      ]
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s1",
+      "s4"
+     ],
+     "kind": "select",
+     "name": "s5",
+     "params": [
+      "cmp",
+      -3.625
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ }
+]
+'''
+
+CASES = [FuzzCase.from_dict(d) for d in json.loads(_CASES_JSON)]
+
+
+@pytest.mark.parametrize("case", CASES,
+                         ids=[f"seed{c.seed}-{c.key()}" for c in CASES])
+def test_gnarly_corpus_case(case):
+    run_case(case, raise_on_failure=True)

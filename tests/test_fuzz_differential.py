@@ -1,0 +1,198 @@
+"""The generative differential-testing subsystem (repro.fuzz).
+
+Three layers under test:
+
+* the generators themselves — determinism (same seed, same case), spec and
+  case JSON round-trips, schedule legality;
+* the oracle — a pinned-seed smoke corpus runs in tier-1 (every case must be
+  bit-identical across interp/numpy/compiled x thread counts); the long
+  corpus is marked ``fuzz`` (deselect locally with ``-m "not fuzz"``);
+* the tooling — the minimizer shrinks against a pluggable predicate, and
+  dumped repro scripts replay standalone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fuzz import (
+    FuzzCase,
+    GeneratorConfig,
+    build_pipeline,
+    default_still_fails,
+    generate_pipeline,
+    generate_schedules,
+    generate_spec,
+    input_image_for,
+    minimize_case,
+    repro_script,
+    run_case,
+)
+from repro.fuzz.__main__ import case_seed
+from repro.fuzz.spec import INPUT, PipelineSpec, StageSpec
+
+#: The tier-1 smoke slice: pinned seeds, small but varied.
+SMOKE_SEEDS = tuple(range(16))
+
+#: The long corpus (nightly / explicit -m fuzz runs).
+LONG_CORPUS_SEEDS = tuple(case_seed(1, i) for i in range(120))
+
+
+# ---------------------------------------------------------------------------
+# generator determinism and serialization
+# ---------------------------------------------------------------------------
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_spec(self):
+        for seed in (0, 7, 123456):
+            assert generate_spec(seed).to_json() == generate_spec(seed).to_json()
+
+    def test_different_seeds_differ(self):
+        specs = {generate_spec(seed).to_json() for seed in range(20)}
+        assert len(specs) > 10  # collisions allowed, mass duplication is a bug
+
+    def test_same_seed_same_input_image(self):
+        spec = generate_spec(3)
+        a, b = input_image_for(spec), input_image_for(spec)
+        assert a.tobytes() == b.tobytes() and a.dtype == b.dtype
+
+    def test_same_seed_same_schedule_digest(self):
+        built = generate_pipeline(11)
+        first = generate_schedules(built, 11, count=3)
+        second = generate_schedules(generate_pipeline(11), 11, count=3)
+        assert [s.digest() for s in first] == [s.digest() for s in second]
+
+    def test_spec_json_roundtrip(self):
+        for seed in range(10):
+            spec = generate_spec(seed)
+            assert PipelineSpec.from_json(spec.to_json()).to_json() == spec.to_json()
+
+    def test_case_json_roundtrip(self):
+        case = FuzzCase.from_seed(5)
+        replayed = FuzzCase.from_json(case.to_json())
+        assert replayed.spec == case.spec
+        assert replayed.schedule.digest() == case.schedule.digest()
+        assert replayed.sizes == case.sizes
+        assert replayed.key() == case.key()
+
+    def test_spec_rejects_bad_topology(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(0, (8, 8), "float32", (
+                StageSpec("a", "pointwise", ("b",), "float32", ("abs",)),
+                StageSpec("b", "pointwise", (INPUT,), "float32", ("abs",)),
+            ))
+
+    def test_built_pipeline_is_fresh_per_build(self):
+        spec = generate_spec(2)
+        one, two = build_pipeline(spec), build_pipeline(spec)
+        assert one.output is not two.output
+        assert one.funcs.keys() == two.funcs.keys()
+
+
+# ---------------------------------------------------------------------------
+# the oracle: pinned-seed corpora
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SMOKE_SEEDS)
+def test_smoke_corpus_case(seed):
+    """Tier-1: every smoke case is bit-identical across all backends/threads."""
+    run_case(FuzzCase.from_seed(seed), raise_on_failure=True)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", LONG_CORPUS_SEEDS)
+def test_long_corpus_case(seed):
+    """The long pinned corpus (nightly; deselect locally with -m 'not fuzz')."""
+    run_case(FuzzCase.from_seed(seed), raise_on_failure=True)
+
+
+def test_case_from_seed_prevalidates_schedule():
+    """from_seed only emits schedules the compiler accepts, so invalid
+    reports are unreachable on the happy path."""
+    for seed in SMOKE_SEEDS[:8]:
+        report = run_case(FuzzCase.from_seed(seed))
+        assert not report.invalid
+
+
+# ---------------------------------------------------------------------------
+# the minimizer (pluggable predicate: no live compiler bug needed)
+# ---------------------------------------------------------------------------
+
+class TestMinimizer:
+    def _multi_stage_case(self):
+        for seed in range(100):
+            case = FuzzCase.from_seed(seed)
+            if len(case.spec.stages) >= 4 and len(case.schedule.funcs()) >= 2:
+                return case
+        raise AssertionError("no multi-stage case found in 100 seeds")
+
+    def test_minimizes_stage_count_against_predicate(self):
+        case = self._multi_stage_case()
+        marker = case.spec.stages[0].name
+
+        def fails(candidate: FuzzCase) -> bool:
+            return any(s.name == marker for s in candidate.spec.stages)
+
+        small = minimize_case(case, still_fails=fails)
+        assert any(s.name == marker for s in small.spec.stages)
+        assert len(small.spec.stages) <= len(case.spec.stages)
+        assert len(small.spec.stages) == 1  # everything else is bystander
+        assert small.sizes[0] * small.sizes[1] <= case.sizes[0] * case.sizes[1]
+
+    def test_minimizes_schedule_directives(self):
+        case = self._multi_stage_case()
+
+        def fails(candidate: FuzzCase) -> bool:
+            return True  # everything "fails": minimum must still be a valid case
+
+        small = minimize_case(case, still_fails=fails)
+        assert sum(len(small.schedule.directives(f)) for f in small.schedule.funcs()) == 0
+        assert small.sizes == (1, 1)
+        FuzzCase.from_json(small.to_json())  # still serializable
+
+    def test_diamond_bypass_does_not_crash(self):
+        """Bypassing a diamond's join stage prunes its dead sibling from the
+        spec; the (stale) iteration list must skip it, not KeyError."""
+        spec = PipelineSpec(0, (8, 8), "float32", (
+            StageSpec("s0", "pointwise", (INPUT,), "float32", ("abs",)),
+            StageSpec("s1", "pointwise", (INPUT,), "float32", ("abs",)),
+            StageSpec("s2", "pointwise", ("s0", "s1"), "float32", ("add",)),
+            StageSpec("s3", "pointwise", ("s2",), "float32", ("abs",)),
+        ))
+        case = FuzzCase(spec=spec, schedule={}, sizes=(4, 4))
+
+        def fails(candidate: FuzzCase) -> bool:
+            # Requires the output stage, so truncation never fires and the
+            # stage-bypass pass must handle the pruned sibling s1.
+            return any(s.name == "s3" for s in candidate.spec.stages)
+
+        small = minimize_case(case, still_fails=fails)
+        assert [s.name for s in small.spec.stages] == ["s3"]
+
+    def test_non_failing_case_is_returned_unchanged(self):
+        case = FuzzCase.from_seed(0)
+        assert minimize_case(case, still_fails=lambda c: False) is case
+
+    def test_default_predicate_is_false_on_passing_case(self):
+        assert not default_still_fails(FuzzCase.from_seed(0))
+
+
+# ---------------------------------------------------------------------------
+# repro scripts
+# ---------------------------------------------------------------------------
+
+class TestReproScript:
+    def test_script_replays_standalone(self):
+        case = FuzzCase.from_seed(1)
+        script = repro_script(case, filename="repro_test.py")
+        namespace = {"__name__": "repro_fuzz_dump"}
+        exec(compile(script, "repro_test.py", "exec"), namespace)  # noqa: S102
+        namespace["main"]()  # raises FuzzFailure if the case fails
+
+    def test_script_embeds_failure_summary(self):
+        case = FuzzCase.from_seed(2)
+        report = run_case(case)
+        text = repro_script(report, filename="x.py")
+        assert case.to_json() in text
+        assert "ok" in report.summary()

@@ -12,6 +12,8 @@ Both paths must agree exactly on both execution backends — schedules are
 data, and serialization must not change what (or how) anything computes.
 """
 
+import functools
+
 import numpy as np
 import pytest
 
@@ -117,3 +119,51 @@ def test_named_schedules_are_first_class_data(app_name):
         schedule = app.named_schedule(name)
         assert isinstance(schedule, Schedule)
         assert Schedule.from_json(schedule.to_json()) == schedule
+
+
+# ---------------------------------------------------------------------------
+# generated (fuzz) schedules: round-trip must hold off the beaten path too
+# ---------------------------------------------------------------------------
+
+@functools.lru_cache(maxsize=None)
+def _fuzz_pipeline_and_schedules(pipeline_seed):
+    """10 generated schedules over one generated pipeline, built lazily and
+    cached: generation costs up to ~25 symbolic lowerings per schedule draw,
+    which must not be paid at collection time (or twice across the two
+    tests)."""
+    from repro.fuzz import generate_pipeline, generate_schedules
+
+    built = generate_pipeline(pipeline_seed)
+    return built, generate_schedules(built, pipeline_seed, count=10)
+
+
+_FUZZ_PIPELINE_SEEDS = (101, 202, 303, 404, 505)
+
+
+@pytest.mark.parametrize("pipeline_seed", _FUZZ_PIPELINE_SEEDS)
+@pytest.mark.parametrize("index", range(10))
+def test_generated_schedule_json_roundtrip_digest_stable(pipeline_seed, index):
+    """to_json -> from_json is the identity (digest included) for schedules
+    nobody wrote by hand: reorders, guarded tails, odd factors and all."""
+    _, schedules = _fuzz_pipeline_and_schedules(pipeline_seed)
+    schedule = schedules[index]
+    restored = Schedule.from_json(schedule.to_json())
+    assert restored == schedule
+    assert restored.digest() == schedule.digest()
+    # A second round trip through plain dicts stays stable too.
+    assert Schedule.from_dict(restored.to_dict()).digest() == schedule.digest()
+
+
+@pytest.mark.parametrize("pipeline_seed", _FUZZ_PIPELINE_SEEDS)
+def test_generated_schedule_roundtrip_realize_identical(pipeline_seed):
+    """Realizing under the restored schedule is bit-identical to the original
+    (fresh Pipeline per side, so nothing is shared via the compile cache)."""
+    from repro.pipeline import Pipeline
+
+    built, schedules = _fuzz_pipeline_and_schedules(pipeline_seed)
+    sizes = [9, 6]
+    for schedule in schedules:
+        restored = Schedule.from_json(schedule.to_json())
+        a = Pipeline(built.output).realize(sizes, schedule=schedule, target="numpy")
+        b = Pipeline(built.output).realize(sizes, schedule=restored, target="numpy")
+        assert a.dtype == b.dtype and a.tobytes() == b.tobytes()
