@@ -83,6 +83,8 @@ def sweep_schedules(app, pipeline):
                 "schedule": name,
                 "backend": target.backend,
                 "threads": target.threads,
+                "parallel": target.parallel or "thread",
+                "workers": target.threads or 1,
                 "seconds": seconds,
                 "compile_seconds": compile_seconds,
                 "schedule_digest": schedule.digest(),
@@ -103,27 +105,38 @@ def backend_speedups(results):
 
 
 def thread_scaling():
-    """Wall time of a parallel schedule at several thread counts."""
+    """Wall time of a parallel schedule at several worker counts, for each
+    available parallel runtime (threads always; processes where shared
+    memory works)."""
+    from repro.codegen.process_runtime import process_pool_available
+
     image = np.random.default_rng(20130616).random(SCALING_SHAPE).astype(np.float32)
     app = make_blur(image)
     pipeline = app.pipeline()
     schedule = app.named_schedule(SCALING_SCHEDULE)
-    rows = {}
-    for threads in SCALING_THREADS:
-        compiled = pipeline.compile(app.default_size, schedule=schedule,
-                                    target=Target("compiled", threads=threads))
-        seconds = time_compiled(compiled, repeats=SCALING_REPEATS)
-        rows[str(threads)] = seconds
-        print(f"thread scaling: {SCALING_SCHEDULE} @ {SCALING_SHAPE} "
-              f"threads={threads} {seconds * 1e3:9.3f} ms")
+    modes = ("thread", "process") if process_pool_available() else ("thread",)
+    rows = []
+    for mode in modes:
+        for workers in SCALING_THREADS:
+            compiled = pipeline.compile(
+                app.default_size, schedule=schedule,
+                target=Target("compiled", threads=workers,
+                              parallel=None if mode == "thread" else mode))
+            seconds = time_compiled(compiled, repeats=SCALING_REPEATS)
+            rows.append({"parallel": mode, "workers": workers,
+                         "seconds": seconds})
+            print(f"scaling: {SCALING_SCHEDULE} @ {SCALING_SHAPE} "
+                  f"parallel={mode} workers={workers} {seconds * 1e3:9.3f} ms")
+    by_key = {(r["parallel"], r["workers"]): r["seconds"] for r in rows}
     return {
         "image_shape": list(SCALING_SHAPE),
         "schedule": SCALING_SCHEDULE,
         "repeats": SCALING_REPEATS,
-        "seconds_by_threads": rows,
-        "speedup_4_over_1": rows["1"] / max(rows["4"], 1e-9),
-        # Thread speedup is bounded by the cores actually available; a
-        # single-core runner legitimately records ~1.0 here.
+        "rows": rows,
+        "speedup_4_over_1": by_key[("thread", 1)] / max(by_key[("thread", 4)], 1e-9),
+        # Worker speedup is bounded by the cores actually available; a
+        # single-core runner legitimately records ~1.0 here (and below 1.0
+        # for processes, which pay per-dispatch shared-memory traffic).
         "cpu_count": os.cpu_count(),
         "affinity_count": len(os.sched_getaffinity(0))
         if hasattr(os, "sched_getaffinity") else None,

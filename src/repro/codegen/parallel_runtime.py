@@ -26,6 +26,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 __all__ = ["ParallelRuntime", "get_pool", "shutdown_pools"]
 
 #: Chunks submitted per worker: >1 gives the pool slack to balance uneven
@@ -74,10 +76,25 @@ def chunk_bounds(mn: int, extent: int, chunks: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def _run_chunk(body: Callable[[int, int], None], lo: int, hi: int) -> None:
+def _call_body(body: Callable, bufs: Optional[dict], ctx: Optional[dict],
+               rt: "ParallelRuntime", lo: int, hi: int) -> None:
+    """Invoke a chunk body under either call convention.
+
+    Module-level chunk functions emitted by the source backend take
+    ``(bufs, ctx, rt, lo, hi)``; legacy closures (and the direct-runtime unit
+    tests) take plain ``(lo, hi)``.  ``bufs is None`` selects the legacy form.
+    """
+    if bufs is None and ctx is None:
+        body(lo, hi)
+    else:
+        body(bufs or {}, ctx or {}, rt, lo, hi)
+
+
+def _run_chunk(body: Callable, bufs: Optional[dict], ctx: Optional[dict],
+               rt: "ParallelRuntime", lo: int, hi: int) -> None:
     _WORKER_STATE.active = True
     try:
-        body(lo, hi)
+        _call_body(body, bufs, ctx, rt, lo, hi)
     finally:
         _WORKER_STATE.active = False
 
@@ -96,19 +113,39 @@ class ParallelRuntime:
     def __init__(self, threads: Optional[int] = None):
         self.threads = int(threads) if threads is not None else None
 
-    def parallel_for(self, body: Callable[[int, int], None],
-                     mn: int, extent: int) -> None:
-        """Run ``body(lo, hi)`` over ``[mn, mn+extent)``, possibly in chunks."""
+    @staticmethod
+    def alloc(buffers: dict, name: str, size: int, dtype) -> np.ndarray:
+        """Allocate (or adopt) the flat storage for one Allocate node.
+
+        Externally provided storage (the output buffer, pre-bound inputs)
+        takes precedence, exactly as the interpreter's Allocate handling;
+        otherwise a private zero-filled buffer is created.  The process-pool
+        runtime overrides this to back fresh allocations with shared memory.
+        """
+        buf = buffers.get(name)
+        if buf is not None:
+            return buf
+        return np.zeros(max(int(size), 0), dtype=dtype)
+
+    def parallel_for(self, body: Callable, mn: int, extent: int,
+                     bufs: Optional[dict] = None,
+                     ctx: Optional[dict] = None) -> None:
+        """Run a chunk body over ``[mn, mn+extent)``, possibly in chunks.
+
+        ``bufs``/``ctx`` select the module-level chunk-function convention
+        (``body(bufs, ctx, rt, lo, hi)``) the source backend emits; without
+        them ``body(lo, hi)`` closures are called directly (legacy form).
+        """
         mn, extent = int(mn), int(extent)
         if extent <= 0:
             return
         threads = self.threads
         if (threads is None or threads <= 1 or extent == 1
                 or getattr(_WORKER_STATE, "active", False)):
-            body(mn, mn + extent)
+            _call_body(body, bufs, ctx, self, mn, mn + extent)
             return
         pool = get_pool(threads)
-        futures = [pool.submit(_run_chunk, body, lo, hi)
+        futures = [pool.submit(_run_chunk, body, bufs, ctx, self, lo, hi)
                    for lo, hi in chunk_bounds(mn, extent, threads * CHUNKS_PER_WORKER)]
         # Wait for every chunk; the first failure propagates to the caller
         # after the remaining chunks finish (they write disjoint regions, so

@@ -1,0 +1,324 @@
+"""The process-pool runtime behind ``Target(parallel="process")``.
+
+The thread runtime (:mod:`repro.codegen.parallel_runtime`) relies on NumPy
+releasing the GIL inside each chunk; scalar-path chunks (non-batchable loops)
+stay serialized by the interpreter lock.  This module runs the same chunk
+functions in *worker processes* instead, sidestepping the GIL entirely:
+
+* The generated source from :mod:`repro.codegen.source_backend` is
+  self-contained — parallel loop bodies are module-level functions taking
+  ``(bufs, ctx, rt, lo, hi)`` with every enclosing-scope value passed
+  explicitly.  Workers receive the source *text*, ``exec()`` it once per
+  program (cached by digest), and look chunk functions up by name; nothing
+  about the master's closures or IR needs to pickle.
+* Flat buffers live in :mod:`multiprocessing.shared_memory` segments owned by
+  the master.  Workers attach by name and build ndarray views, so chunk
+  writes land directly in the master's buffers — the same disjoint-slice
+  model as threads, hence bit-identical output for any worker count.
+* Scratch buffers allocated *inside* a chunk stay worker-private (plain
+  ``np.zeros``): parallel iterations fully recompute their scratch, so no
+  sharing is needed.
+
+Worker pools are shared process-wide, keyed by worker count, and use the
+``fork`` start method where available (cheap worker startup; the source text
+still travels with each task, so ``spawn`` works too).  Availability is
+probed once — :func:`process_pool_available` — and callers fall back to the
+thread runtime when processes cannot be used (no shared memory, restricted
+platforms, or ``REPRO_DISABLE_PROCESS_POOL=1`` for testing).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context, shared_memory
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.codegen.parallel_runtime import (
+    CHUNKS_PER_WORKER,
+    ParallelRuntime,
+    chunk_bounds,
+)
+
+__all__ = [
+    "ProcessPoolRuntime",
+    "get_process_pool",
+    "process_pool_available",
+    "shutdown_process_pools",
+]
+
+_ENTRY_NAME = "_pipeline"
+
+_PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+#: Cached result of the one-time availability probe (None = not probed yet).
+_AVAILABLE: Optional[bool] = None
+
+
+def _start_context():
+    """The multiprocessing context for worker pools (fork where possible)."""
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return get_context()
+
+
+def process_pool_available() -> bool:
+    """Whether process-pool execution can work here (probed once).
+
+    Requires a usable :mod:`multiprocessing.shared_memory` (some sandboxes
+    mount no ``/dev/shm``).  Set ``REPRO_DISABLE_PROCESS_POOL=1`` to force
+    the thread fallback (used by tests and constrained CI runners).
+    """
+    global _AVAILABLE
+    if os.environ.get("REPRO_DISABLE_PROCESS_POOL"):
+        return False
+    if _AVAILABLE is None:
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=8)
+            segment.close()
+            segment.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+def get_process_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared pool with ``workers`` processes (created on first use)."""
+    with _POOLS_LOCK:
+        pool = _PROCESS_POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=_start_context())
+            _PROCESS_POOLS[workers] = pool
+        return pool
+
+
+def _drop_pool(workers: int, pool: ProcessPoolExecutor) -> None:
+    """Forget a broken pool so the next run builds a fresh one."""
+    with _POOLS_LOCK:
+        if _PROCESS_POOLS.get(workers) is pool:
+            del _PROCESS_POOLS[workers]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_process_pools() -> None:
+    """Shut down all shared worker pools (test isolation helper)."""
+    with _POOLS_LOCK:
+        pools = list(_PROCESS_POOLS.values())
+        _PROCESS_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Program digest -> exec'd namespace, cached per worker process.
+_WORKER_PROGRAMS: Dict[str, dict] = {}
+
+
+def _worker_namespace(digest: str, source: str) -> dict:
+    namespace = _WORKER_PROGRAMS.get(digest)
+    if namespace is None:
+        from repro.codegen.source_backend import exec_source
+
+        namespace = exec_source(source, f"<repro.worker:{digest[:12]}>")
+        _WORKER_PROGRAMS[digest] = namespace
+    return namespace
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a master-owned segment without claiming ownership.
+
+    Attaching normally registers the segment with the resource tracker,
+    which would warn (and double-unlink) when the worker exits while the
+    master still owns the segment; ``track=False`` (3.13+) or an explicit
+    unregister avoids that.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        # Suppress the tracker registration for the duration of the attach.
+        # (Unregistering *after* the fact would corrupt the fork-shared
+        # tracker's view of the master's own registration instead.)
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _worker_run_chunk(digest: str, source: str, fn_name: str,
+                      segments: Dict[str, Tuple[str, str, int]],
+                      ctx: dict, lo: int, hi: int) -> None:
+    """Execute one parallel chunk ``[lo, hi)`` against shared buffers.
+
+    ``segments`` maps buffer name -> (shm name, dtype, length); views are
+    rebuilt per task, which is cheap (attach is an mmap, not a copy).
+    """
+    namespace = _worker_namespace(digest, source)
+    attached: List[shared_memory.SharedMemory] = []
+    bufs: Dict[str, np.ndarray] = {}
+    try:
+        for buf_name, (shm_name, dtype, length) in segments.items():
+            segment = _attach(shm_name)
+            attached.append(segment)
+            bufs[buf_name] = np.ndarray(
+                (length,), dtype=np.dtype(dtype), buffer=segment.buf)
+        runtime = ParallelRuntime(threads=None)  # nested loops run inline
+        namespace[fn_name](bufs, ctx, runtime, lo, hi)
+    finally:
+        bufs.clear()  # drop views before close: live views raise BufferError
+        for segment in attached:
+            segment.close()
+
+
+def _worker_run_pipeline(digest: str, source: str, scope: dict,
+                         buffers: Dict[str, np.ndarray],
+                         out_name: str) -> np.ndarray:
+    """Run a whole pipeline in this worker (batch-level parallelism).
+
+    ``buffers`` arrives pickled (inputs plus a zeroed flat output); the
+    filled output buffer is returned by value.  Loop-level parallelism is
+    disabled inside the worker — batch parallelism outranks it.
+    """
+    namespace = _worker_namespace(digest, source)
+    namespace[_ENTRY_NAME](scope, buffers, ParallelRuntime(threads=None))
+    return buffers[out_name]
+
+
+# ----------------------------------------------------------------------
+# master side
+# ----------------------------------------------------------------------
+class ProcessPoolRuntime(ParallelRuntime):
+    """Executes parallel-for chunks in worker processes over shared memory.
+
+    One instance serves one compiled-pipeline *run* (a session): the
+    executor adopts its bound buffers into shared segments up front, the
+    generated code allocates intermediate buffers through :meth:`alloc`
+    (shared-memory-backed), chunks are dispatched to the worker pool, and
+    :meth:`close` writes adopted buffers back and unlinks every segment.
+    """
+
+    __slots__ = ("workers", "_digest", "_source", "_segments", "_writeback")
+
+    def __init__(self, workers: int, source: str, digest: str):
+        super().__init__(threads=workers)
+        self.workers = int(workers)
+        self._digest = digest
+        self._source = source
+        #: id(array) -> (segment, the array itself — pinned so ids stay
+        #: unique for the session — dtype str, length).
+        self._segments: Dict[int, Tuple[shared_memory.SharedMemory,
+                                        np.ndarray, str, int]] = {}
+        #: Adopted master arrays to copy back on close: (original, shared).
+        self._writeback: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    # -- shared allocation ---------------------------------------------
+    def _new_shared(self, name: str, length: int, dtype: np.dtype) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(length * dtype.itemsize, 1))
+        array = np.ndarray((length,), dtype=dtype, buffer=segment.buf)
+        self._segments[id(array)] = (segment, array, str(dtype), length)
+        return array
+
+    def adopt(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Move an existing flat array into shared memory for this session.
+
+        The returned shared-backed array replaces ``array`` for the run;
+        :meth:`close` copies the contents back into the original.
+        """
+        flat = np.ascontiguousarray(array).reshape(-1)
+        shared = self._new_shared(name, flat.size, flat.dtype)
+        shared[...] = flat
+        self._writeback.append((array, shared))
+        return shared
+
+    def alloc(self, buffers: dict, name: str, size: int, dtype) -> np.ndarray:
+        buf = buffers.get(name)
+        if buf is not None:
+            return buf
+        return self._new_shared(name, max(int(size), 0), np.dtype(dtype))
+
+    # -- dispatch -------------------------------------------------------
+    def parallel_for(self, body: Callable, mn: int, extent: int,
+                     bufs: Optional[dict] = None,
+                     ctx: Optional[dict] = None) -> None:
+        mn, extent = int(mn), int(extent)
+        if extent <= 0:
+            return
+        if bufs is None and ctx is None:
+            # Legacy closure convention: not shippable to a process; run it
+            # on the inherited thread path instead.
+            super().parallel_for(body, mn, extent)
+            return
+        if self.workers <= 1 or extent == 1:
+            body(bufs or {}, ctx or {}, self, mn, mn + extent)
+            return
+        segments, scratch = {}, []
+        try:
+            for name, array in (bufs or {}).items():
+                entry = self._segments.get(id(array))
+                if entry is None:
+                    # Not session-managed (e.g. a buffer bound after a
+                    # restore path we did not anticipate): copy in for this
+                    # dispatch, copy back out below.  Correct, just slower.
+                    flat = np.ascontiguousarray(array).reshape(-1)
+                    shared = self._new_shared(name, flat.size, flat.dtype)
+                    shared[...] = flat
+                    scratch.append((array, shared))
+                    entry = self._segments[id(shared)]
+                segment, _, dtype, length = entry
+                segments[name] = (segment.name, dtype, length)
+            pool = get_process_pool(self.workers)
+            futures = [
+                pool.submit(_worker_run_chunk, self._digest, self._source,
+                            body.__name__, segments, ctx or {}, lo, hi)
+                for lo, hi in chunk_bounds(
+                    mn, extent, self.workers * CHUNKS_PER_WORKER)
+            ]
+            first_error = None
+            for future in futures:
+                try:
+                    future.result()
+                except BrokenProcessPool as error:
+                    _drop_pool(self.workers, pool)
+                    if first_error is None:
+                        first_error = error
+                except BaseException as error:  # noqa: BLE001 - re-raised
+                    if first_error is None:
+                        first_error = error
+            if first_error is not None:
+                raise first_error
+        finally:
+            for original, shared in scratch:
+                np.copyto(np.asarray(original).reshape(-1), shared)
+
+    # -- session teardown ----------------------------------------------
+    def close(self) -> None:
+        """Write adopted buffers back and release every shared segment."""
+        for original, shared in self._writeback:
+            np.copyto(np.asarray(original).reshape(-1), shared)
+        self._writeback.clear()
+        segments = [entry[0] for entry in self._segments.values()]
+        self._segments.clear()  # drops the pinned views
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # a caller still holds a view; the unlink
+                pass             # below still removes the name (no leak)
+            segment.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessPoolRuntime(workers={self.workers})"

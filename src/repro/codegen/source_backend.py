@@ -44,10 +44,12 @@ through :meth:`CompiledPipeline.source`.
 
 from __future__ import annotations
 
+import hashlib
 import linecache
 import math
 import re
 import sys
+import warnings
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -121,6 +123,20 @@ _INTRINSIC_FUNCS = {
 
 _ENTRY_NAME = "_pipeline"
 
+_PROCESS_FALLBACK_WARNED = False
+
+
+def _warn_process_fallback() -> None:
+    """Warn (once per process) that ``parallel="process"`` fell back to
+    threads; silent mode changes would make benchmark rows misleading."""
+    global _PROCESS_FALLBACK_WARNED
+    if not _PROCESS_FALLBACK_WARNED:
+        _PROCESS_FALLBACK_WARNED = True
+        warnings.warn(
+            "Target(parallel='process') requested but process pools are "
+            "unavailable here; falling back to the thread runtime",
+            RuntimeWarning, stacklevel=3)
+
 
 def _sanitize(name: str) -> str:
     return re.sub(r"\W+", "_", name)
@@ -135,6 +151,25 @@ class _Value:
     def __init__(self, code: str, aligned: bool):
         self.code = code
         self.aligned = aligned
+
+
+class _ChunkScope:
+    """Book-keeping for one parallel chunk function under emission.
+
+    Parallel loop bodies are emitted as *module-level* functions (so the
+    process-pool runtime can ship them to workers by name); every value the
+    body reads from its enclosing scope must therefore be passed explicitly.
+    ``scalar_refs`` (py-name -> py-name, an ordered set) and ``buf_refs``
+    (buffer name -> py-name) collect those imports; ``defined`` holds the py
+    locals created inside the chunk, which need no import.
+    """
+
+    __slots__ = ("scalar_refs", "buf_refs", "defined")
+
+    def __init__(self):
+        self.scalar_refs: Dict[str, str] = {}
+        self.buf_refs: Dict[str, str] = {}
+        self.defined: Set[str] = set()
 
 
 class _Emitter:
@@ -161,13 +196,38 @@ class _Emitter:
         #: Store ids with an evaluated disjointness certificate (batch ctx).
         self._certified: Set[int] = set()
         self._in_batch = False
+        #: Module-level chunk functions emitted for parallel loops.
+        self.module_fns: List[List[Tuple[int, str]]] = []
+        #: Stack of chunk functions currently being emitted (innermost last).
+        self._chunk_stack: List[_ChunkScope] = []
 
     # ------------------------------------------------------------------
     # small helpers
     # ------------------------------------------------------------------
     def _tmp(self, prefix: str = "_t") -> str:
         self._counter += 1
-        return f"{prefix}{self._counter}"
+        name = f"{prefix}{self._counter}"
+        if self._chunk_stack:
+            self._chunk_stack[-1].defined.add(name)
+        return name
+
+    def _note_scalar(self, py: str) -> None:
+        """Record that ``py`` (a scalar local) is read inside open chunks.
+
+        Walking innermost-out, every chunk that does not define the name must
+        import it through its ``ctx`` dict; the chunk that defines it stops
+        the propagation (its call sites re-record transitively)."""
+        for chunk in reversed(self._chunk_stack):
+            if py in chunk.defined:
+                return
+            chunk.scalar_refs[py] = py
+
+    def _note_buffer_ref(self, name: str, py: str) -> None:
+        """Like :meth:`_note_scalar` for buffer locals (imported via ``bufs``)."""
+        for chunk in reversed(self._chunk_stack):
+            if py in chunk.defined:
+                return
+            chunk.buf_refs[name] = py
 
     def _line(self, code: str) -> None:
         self.lines.append((self.indent, code))
@@ -186,12 +246,16 @@ class _Emitter:
     def _buffer(self, name: str) -> str:
         """The py local holding buffer ``name`` (prelude-bound if external)."""
         if name in self.buf_env:
-            return self.buf_env[name]
-        if name not in self.extern_buffers:
-            # The index keeps distinct IR names distinct even when
-            # _sanitize collapses them to the same identifier.
-            self.extern_buffers[name] = f"_in{len(self.extern_buffers)}_{_sanitize(name)}"
-        return self.extern_buffers[name]
+            py = self.buf_env[name]
+        else:
+            if name not in self.extern_buffers:
+                # The index keeps distinct IR names distinct even when
+                # _sanitize collapses them to the same identifier.
+                self.extern_buffers[name] = \
+                    f"_in{len(self.extern_buffers)}_{_sanitize(name)}"
+            py = self.extern_buffers[name]
+        self._note_buffer_ref(name, py)
+        return py
 
     @staticmethod
     def _is_array(e: E.Expr, value: _Value) -> bool:
@@ -274,11 +338,13 @@ class _Emitter:
     def _variable(self, e: E.Variable) -> _Value:
         binding = self.env.get(e.name)
         if binding is not None:
+            self._note_scalar(binding[0])
             return _Value(binding[0], binding[1])
         py = self.scope_vars.get(e.name)
         if py is None:
             py = f"_s{len(self.scope_vars)}_{_sanitize(e.name)}"
             self.scope_vars[e.name] = py
+        self._note_scalar(py)
         return _Value(py, False)
 
     def _cast(self, e: E.Cast) -> _Value:
@@ -425,14 +491,14 @@ class _Emitter:
     def _allocate(self, node: S.Allocate) -> None:
         size = self.expr(node.size)
         py = self._tmp(f"_b_{_sanitize(node.name)}_")
-        # Externally provided storage (the output buffer) takes precedence,
-        # exactly as in the interpreter's Allocate handling.
-        self._line(f"{py} = buffers.get({node.name!r})")
-        self._line(f"if {py} is None:")
-        self.indent += 1
-        self._line(f"{py} = np.zeros(max(int({size.code}), 0), "
-                   f"dtype={self._dtype(node.type)})")
-        self.indent -= 1
+        # rt.alloc gives externally provided storage (the output buffer)
+        # precedence, exactly as in the interpreter's Allocate handling, and
+        # lets the process-pool runtime back fresh top-level allocations with
+        # shared memory.  Inside a chunk function only the chunk's ``bufs``
+        # map is visible; allocations there are worker-private by design.
+        bufsrc = "bufs" if self._chunk_stack else "buffers"
+        self._line(f"{py} = rt.alloc({bufsrc}, {node.name!r}, {size.code}, "
+                   f"{self._dtype(node.type)})")
         saved = self.buf_env.get(node.name)
         self.buf_env[node.name] = py
         try:
@@ -638,40 +704,67 @@ class _Emitter:
         gate, certified, needs_abort = (None, set(), False)
         if vectorizable:
             gate, certified, needs_abort = self._emit_certificates(node, info, "2")
-        fn = self._tmp(f"_par_{_sanitize(node.name)}_")
+        fn = self._tmp(f"_chunk_{_sanitize(node.name)}_")
         self._line(f"# parallel for {node.name}")
-        self._line(f"def {fn}(_lo, _hi):")
-        self.indent += 1
-        if vectorizable:
-            vec = self._tmp(f"_v_{_sanitize(node.name)}_")
-            self._line(f"if {gate} and (_hi - _lo) >= 2:")
-            self.indent += 1
-            if needs_abort:
-                self._line("try:")
-                self.indent += 1
-            self._line(f"{vec} = np.arange(_lo, _hi)")
-            self._vector_body(node, vec, certified)
-            self._line("return")
-            if needs_abort:
-                self.indent -= 1
-                self._line("except _BatchAbort:")
-                self.indent += 1
-                self._line("pass")
-                self.indent -= 1
-            self.indent -= 1
-        py = self._tmp(f"_v_{_sanitize(node.name)}_")
-        self._line(f"for {py} in range(_lo, _hi):")
-        saved = self.env.get(node.name)
-        self.env[node.name] = (py, False)
+        # The chunk body becomes a *module-level* function: the thread
+        # runtime calls it directly, the process runtime ships it to workers
+        # by name (module-level functions need no closure state — every
+        # enclosing-scope value is passed through bufs/ctx explicitly).
+        outer_lines, outer_indent = self.lines, self.indent
+        self.lines, self.indent = [], 1
+        chunk = _ChunkScope()
+        self._chunk_stack.append(chunk)
         try:
-            self._block(node.body)
+            if vectorizable:
+                self._note_scalar(gate)
+                vec = self._tmp(f"_v_{_sanitize(node.name)}_")
+                self._line(f"if {gate} and (_hi - _lo) >= 2:")
+                self.indent += 1
+                if needs_abort:
+                    self._line("try:")
+                    self.indent += 1
+                self._line(f"{vec} = np.arange(_lo, _hi)")
+                self._vector_body(node, vec, certified)
+                self._line("return")
+                if needs_abort:
+                    self.indent -= 1
+                    self._line("except _BatchAbort:")
+                    self.indent += 1
+                    self._line("pass")
+                    self.indent -= 1
+                self.indent -= 1
+            py = self._tmp(f"_v_{_sanitize(node.name)}_")
+            self._line(f"for {py} in range(_lo, _hi):")
+            saved = self.env.get(node.name)
+            self.env[node.name] = (py, False)
+            try:
+                self._block(node.body)
+            finally:
+                if saved is None:
+                    self.env.pop(node.name, None)
+                else:
+                    self.env[node.name] = saved
         finally:
-            if saved is None:
-                self.env.pop(node.name, None)
-            else:
-                self.env[node.name] = saved
-        self.indent -= 1
-        self._line(f"rt.parallel_for({fn}, {mn}, {ex})")
+            self._chunk_stack.pop()
+            body_lines = self.lines
+            self.lines, self.indent = outer_lines, outer_indent
+        fn_lines = [(0, f"def {fn}(bufs, ctx, rt, _lo, _hi):")]
+        fn_lines += [(1, f"{py} = bufs[{name!r}]")
+                     for name, py in chunk.buf_refs.items()]
+        fn_lines += [(1, f"{py} = ctx[{py!r}]") for py in chunk.scalar_refs]
+        self.module_fns.append(fn_lines + body_lines)
+        # The call site references every imported value, so re-record the
+        # refs against any still-open enclosing chunk (transitive imports).
+        for name, py in chunk.buf_refs.items():
+            self._note_buffer_ref(name, py)
+        for py in chunk.scalar_refs:
+            self._note_scalar(py)
+        bufs_lit = "{" + ", ".join(f"{name!r}: {py}"
+                                   for name, py in chunk.buf_refs.items()) + "}"
+        ctx_lit = "{" + ", ".join(f"{py!r}: {py}"
+                                  for py in chunk.scalar_refs) + "}"
+        self._line(f"rt.parallel_for({fn}, {mn}, {ex}, "
+                   f"bufs={bufs_lit}, ctx={ctx_lit})")
 
     # ------------------------------------------------------------------
     # assembly
@@ -685,12 +778,18 @@ class _Emitter:
         self._line(f"# Python source compiled from pipeline {output!r}.")
         self._line("# Regenerated by repro.codegen.source_backend; inspect via")
         self._line("# CompiledPipeline.source().")
-        self._line(f"def {_ENTRY_NAME}(scope, buffers, rt):")
-        self.indent = 1
+        # Constants live at module level so the chunk functions (also module
+        # level) can reach them through the shared exec namespace.
         for dtype, py in sorted(self.dtype_consts.items()):
             self._line(f"{py} = np.dtype({dtype!r})")
         for lanes, py in sorted(self.arange_consts.items()):
             self._line(f"{py} = np.arange({lanes})")
+        for fn_lines in self.module_fns:
+            self._line("")
+            self.lines.extend(fn_lines)
+        self._line("")
+        self._line(f"def {_ENTRY_NAME}(scope, buffers, rt):")
+        self.indent = 1
         for name, py in self.scope_vars.items():
             self._line(f"{py} = _scope_get(scope, {name!r})")
         for name, py in self.extern_buffers.items():
@@ -704,17 +803,40 @@ class _Emitter:
 class CompiledProgram:
     """The generated source and its compiled entry point for one lowering."""
 
-    __slots__ = ("source", "entry", "filename")
+    __slots__ = ("source", "entry", "filename", "digest")
 
     def __init__(self, source: str, entry, filename: str):
         self.source = source
         self.entry = entry
         self.filename = filename
+        #: Stable content hash; keys the per-worker program cache in the
+        #: process-pool runtime.
+        self.digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
 def generate_source(lowered: LoweredPipeline) -> str:
     """The generated Python source for a lowered pipeline (cached)."""
     return compile_lowered(lowered).source
+
+
+def exec_source(source: str, filename: str) -> dict:
+    """``compile()`` + ``exec()`` generated source, returning its namespace.
+
+    Used by :func:`compile_lowered` here, by the process-pool workers when
+    they re-exec the shipped source text, and by the persistent cache when it
+    restores a program without relowering.  The source is registered with
+    :mod:`linecache` so tracebacks through generated code show it.
+    """
+    namespace = dict(_GENERATED_GLOBALS)
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102 - own codegen
+    linecache.cache[filename] = (len(source), None, source.splitlines(True), filename)
+    return namespace
+
+
+def make_program(source: str, filename: str) -> CompiledProgram:
+    """Build a :class:`CompiledProgram` from source text alone (no lowering)."""
+    namespace = exec_source(source, filename)
+    return CompiledProgram(source, namespace[_ENTRY_NAME], filename)
 
 
 def compile_lowered(lowered: LoweredPipeline) -> CompiledProgram:
@@ -732,11 +854,7 @@ def compile_lowered(lowered: LoweredPipeline) -> CompiledProgram:
     sys.setrecursionlimit(max(sys.getrecursionlimit(), 100000))
     source = _Emitter(lowered).generate()
     filename = f"<repro.compiled:{lowered.output.name}>"
-    namespace = dict(_GENERATED_GLOBALS)
-    exec(compile(source, filename, "exec"), namespace)  # noqa: S102 - own codegen
-    # Register with linecache so tracebacks through generated code show it.
-    linecache.cache[filename] = (len(source), None, source.splitlines(True), filename)
-    program = CompiledProgram(source, namespace[_ENTRY_NAME], filename)
+    program = make_program(source, filename)
     lowered._compiled_program = program
     return program
 
@@ -759,7 +877,16 @@ class CompiledExecutor(Executor):
                  target=None):
         super().__init__(lowered, listeners=listeners, target=target)
         self._program = compile_lowered(lowered)
-        self._runtime = ParallelRuntime(getattr(target, "threads", None))
+        threads = getattr(target, "threads", None)
+        self._process_workers: Optional[int] = None
+        if getattr(target, "parallel", None) == "process":
+            from repro.codegen.process_runtime import process_pool_available
+
+            if process_pool_available():
+                self._process_workers = threads if threads is not None else 1
+            else:
+                _warn_process_fallback()
+        self._runtime = ParallelRuntime(threads)
 
     @property
     def source(self) -> str:
@@ -767,4 +894,21 @@ class CompiledExecutor(Executor):
         return self._program.source
 
     def run(self) -> None:
-        self._program.entry(self.scope, self.buffers, self._runtime)
+        if self._process_workers is None:
+            self._program.entry(self.scope, self.buffers, self._runtime)
+            return
+        from repro.codegen.process_runtime import ProcessPoolRuntime
+
+        # Process session: adopt every bound buffer into shared memory, run
+        # against the shared views, then write results back into the
+        # caller's arrays and unlink the segments — the caller observes
+        # exactly the serial/thread semantics.
+        runtime = ProcessPoolRuntime(self._process_workers,
+                                     self._program.source,
+                                     self._program.digest)
+        try:
+            session = {name: runtime.adopt(name, array)
+                       for name, array in self.buffers.items()}
+            self._program.entry(self.scope, session, runtime)
+        finally:
+            runtime.close()

@@ -44,6 +44,10 @@ def main(argv=None) -> int:
     parser.add_argument("--threads", default="1,4",
                         help="comma-separated compiled-backend thread counts "
                              "(default '1,4')")
+    parser.add_argument("--process-workers", default="",
+                        help="comma-separated worker counts for the "
+                             "process-pool leg (compiled backend with "
+                             "parallel='process'); empty (default) skips it")
     parser.add_argument("--max-stages", type=int, default=None,
                         help="override the generator's maximum pipeline depth")
     parser.add_argument("--max-failures", type=int, default=10,
@@ -53,6 +57,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     thread_counts = tuple(int(t) for t in str(args.threads).split(",") if t)
+    process_workers = tuple(
+        int(w) for w in str(args.process_workers).split(",") if w)
     config = None
     if args.max_stages is not None:
         config = GeneratorConfig(max_stages=int(args.max_stages))
@@ -62,7 +68,9 @@ def main(argv=None) -> int:
     dumped = []
     for index in range(args.cases):
         seed = case_seed(args.seed, index)
-        case = FuzzCase.from_seed(seed, config=config, thread_counts=thread_counts)
+        case = FuzzCase.from_seed(seed, config=config,
+                                  thread_counts=thread_counts,
+                                  process_worker_counts=process_workers)
         report = run_case(case)
         if report.invalid:
             # from_seed pre-validates schedules, so this is unreachable in

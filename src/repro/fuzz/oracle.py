@@ -78,6 +78,10 @@ class FuzzCase:
     schedule: Schedule
     sizes: Tuple[int, int]
     thread_counts: Tuple[int, ...] = (1, 4)
+    #: Worker counts for the process-pool leg (compiled backend with
+    #: ``parallel="process"``).  Empty ⇒ the leg is skipped, and the case
+    #: serializes exactly as the pre-process format (stable keys/corpora).
+    process_worker_counts: Tuple[int, ...] = ()
     #: The seed this case was derived from (informational; replay uses the
     #: embedded spec/schedule, never the generator).
     seed: Optional[int] = None
@@ -87,10 +91,13 @@ class FuzzCase:
         object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
         object.__setattr__(self, "thread_counts",
                            tuple(int(t) for t in self.thread_counts))
+        object.__setattr__(self, "process_worker_counts",
+                           tuple(int(w) for w in self.process_worker_counts))
 
     @classmethod
     def from_seed(cls, seed: int, config: Optional[GeneratorConfig] = None,
-                  thread_counts: Sequence[int] = (1, 4)) -> "FuzzCase":
+                  thread_counts: Sequence[int] = (1, 4),
+                  process_worker_counts: Sequence[int] = ()) -> "FuzzCase":
         """Derive a full case (pipeline, schedule, sizes) from one seed."""
         import random
 
@@ -99,7 +106,9 @@ class FuzzCase:
         schedule = generate_schedules(built, seed, count=1)[0]
         sizes = random.Random(f"repro-fuzz-sizes-{int(seed)}").choice(SIZE_CHOICES)
         return cls(spec=spec, schedule=schedule, sizes=sizes,
-                   thread_counts=tuple(thread_counts), seed=int(seed))
+                   thread_counts=tuple(thread_counts),
+                   process_worker_counts=tuple(process_worker_counts),
+                   seed=int(seed))
 
     def key(self) -> str:
         """A short stable identifier (for filenames and dedup)."""
@@ -112,7 +121,7 @@ class FuzzCase:
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "version": CASE_FORMAT_VERSION,
             "seed": self.seed,
             "spec": self.spec.to_dict(),
@@ -120,6 +129,11 @@ class FuzzCase:
             "sizes": list(self.sizes),
             "thread_counts": list(self.thread_counts),
         }
+        # Emitted only when set: pre-existing corpora (and their key()
+        # hashes) are byte-for-byte unchanged.
+        if self.process_worker_counts:
+            data["process_worker_counts"] = list(self.process_worker_counts)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FuzzCase":
@@ -131,6 +145,7 @@ class FuzzCase:
             schedule=Schedule.from_dict(data["schedule"]),
             sizes=tuple(data["sizes"]),
             thread_counts=tuple(data.get("thread_counts", (1, 4))),
+            process_worker_counts=tuple(data.get("process_worker_counts", ())),
             seed=data.get("seed"),
         )
 
@@ -142,8 +157,10 @@ class FuzzCase:
         return cls.from_dict(json.loads(text))
 
     def describe(self) -> str:
-        lines = [f"sizes={list(self.sizes)} threads={list(self.thread_counts)} "
-                 f"seed={self.seed}",
+        workers = (f" process_workers={list(self.process_worker_counts)}"
+                   if self.process_worker_counts else "")
+        lines = [f"sizes={list(self.sizes)} threads={list(self.thread_counts)}"
+                 f"{workers} seed={self.seed}",
                  "--- pipeline ---", self.spec.describe(),
                  "--- schedule ---", self.schedule.describe() or "(default)"]
         return "\n".join(lines)
@@ -256,6 +273,29 @@ def run_case(case: FuzzCase, raise_on_failure: bool = False,
             failures.append(
                 f"compiled(threads={threads}) raised {type(error).__name__}: "
                 f"{error}\n" + traceback.format_exc(limit=6))
+
+    # Fourth leg: the compiled backend on the process-pool runtime, at every
+    # requested worker count (silently skipped where process pools cannot
+    # run — the leg proves the runtime, not the platform).
+    if case.process_worker_counts:
+        from repro.codegen.process_runtime import process_pool_available
+
+        if process_pool_available():
+            for workers in case.process_worker_counts:
+                try:
+                    out = pipeline.realize(
+                        sizes, schedule=case.schedule,
+                        target=Target("compiled", threads=workers,
+                                      parallel="process"))
+                    diff = _bit_identical(ref, out)
+                    if diff:
+                        failures.append(
+                            f"compiled(process workers={workers}) output: {diff}")
+                except Exception as error:  # noqa: BLE001 - captured as a finding
+                    failures.append(
+                        f"compiled(process workers={workers}) raised "
+                        f"{type(error).__name__}: {error}\n"
+                        + traceback.format_exc(limit=6))
 
     report = CaseReport(case, ok=not failures, failures=failures)
     if raise_on_failure and failures:

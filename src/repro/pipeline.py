@@ -24,7 +24,7 @@ same pipeline and schedule.
 from __future__ import annotations
 
 from collections import OrderedDict, namedtuple
-from dataclasses import astuple
+from dataclasses import astuple, replace as _dc_replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -40,9 +40,30 @@ from repro.runtime.backend import create_executor
 from repro.runtime.counters import Counters, ExecutionListener
 from repro.runtime.target import Target
 
-__all__ = ["Pipeline", "CompiledPipeline", "RealizationReport", "CacheInfo"]
+__all__ = ["Pipeline", "CompiledPipeline", "RealizationReport", "CacheInfo",
+           "DiskCacheInfo"]
 
 CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+#: Counters for the persistent (on-disk) compile cache plus the number of
+#: lowerings this Pipeline has performed — a warm start that restores every
+#: program from disk shows ``lowerings == 0``.
+DiskCacheInfo = namedtuple(
+    "DiskCacheInfo", ["hits", "misses", "errors", "stores", "lowerings"])
+
+
+class _RestoredLowering:
+    """Stand-in for a :class:`LoweredPipeline` rebuilt from the persistent
+    cache: the compiled program is restored from stored source text, so no
+    IR exists.  Only the ``compiled`` backend runs against it, and
+    :class:`CompiledPipeline` reads its run-time metadata from the cache
+    payload rather than from here."""
+
+    def __init__(self, program):
+        self._compiled_program = program
+        self.output = None
+        self.stmt = None
+        self.image_layouts: Dict[str, object] = {}
 
 
 class _ImageCollector(IRVisitor):
@@ -81,7 +102,8 @@ class CompiledPipeline:
     def __init__(self, pipeline: "Pipeline", lowered: LoweredPipeline,
                  sizes: Sequence[int], schedule: Schedule, target: Target,
                  options: Optional[LoweringOptions], cache_key=None,
-                 images: Optional[Dict[str, object]] = None):
+                 images: Optional[Dict[str, object]] = None,
+                 meta: Optional[Dict[str, object]] = None):
         self.pipeline = pipeline
         self.lowered = lowered
         self.sizes = [int(s) for s in sizes]
@@ -98,12 +120,38 @@ class CompiledPipeline:
         #: calls recompile automatically because image shapes key the cache.
         self._images = dict(images if images is not None
                             else pipeline._collect_images())
-        output = lowered.output
-        if len(self.sizes) != output.dimensions():
-            raise ValueError(
-                f"output {output.name!r} has {output.dimensions()} dimensions, "
-                f"compile() was given {len(self.sizes)} sizes"
-            )
+        # Execution metadata is captured once here (rather than read off the
+        # lowered IR at run time) so a program restored from the persistent
+        # cache — which has source text but no IR — runs identically.
+        if meta is None:
+            from repro.ir.op import const_value
+
+            output = lowered.output
+            if len(self.sizes) != output.dimensions():
+                raise ValueError(
+                    f"output {output.name!r} has {output.dimensions()} dimensions, "
+                    f"compile() was given {len(self.sizes)} sizes"
+                )
+            self._output_name = output.name
+            self._dim_names = [str(dim) for dim in output.args]
+            self._out_dtype = np.dtype(output.output_type.to_numpy_dtype())
+            self._rounded_shape = [
+                int(output.schedule.rounded_extent(dim, size))
+                for dim, size in zip(output.args, self.sizes)]
+            self._baked_shapes: Dict[str, Optional[tuple]] = {}
+            for name, layout in lowered.image_layouts.items():
+                baked = [const_value(extent) for extent in layout.extents]
+                self._baked_shapes[name] = (
+                    tuple(int(b) for b in baked)
+                    if all(b is not None for b in baked) else None)
+        else:
+            self._output_name = str(meta["output_name"])
+            self._dim_names = [str(d) for d in meta["dim_names"]]
+            self._out_dtype = np.dtype(str(meta["out_dtype"]))
+            self._rounded_shape = [int(v) for v in meta["rounded_shape"]]
+            self._baked_shapes = {
+                name: (tuple(int(v) for v in shape) if shape is not None else None)
+                for name, shape in dict(meta["baked_shapes"]).items()}
 
     @property
     def output_function(self) -> Function:
@@ -149,9 +197,6 @@ class CompiledPipeline:
         code has no instrumentation), so counters read zero under it; use
         the ``interp`` backend for exact event streams.
         """
-        output = self.lowered.output
-        sizes = self.sizes
-
         counters = Counters()
         all_listeners: List[ExecutionListener] = [counters] + list(listeners)
         executor = create_executor(self.lowered, listeners=all_listeners,
@@ -165,15 +210,92 @@ class CompiledPipeline:
                 "(use the 'interp' backend for exact events)",
                 RuntimeWarning, stacklevel=3)
 
-        # Bind the requested output region.
-        rounded_shape: List[int] = []
-        for dim, size in zip(output.args, sizes):
-            executor.bind(f"{output.name}.{dim}.min", 0)
-            executor.bind(f"{output.name}.{dim}.extent", size)
-            executor.bind(f"{output.name}.{dim}.max", size - 1)
-            rounded_shape.append(int(output.schedule.rounded_extent(dim, size)))
+        flat_output = self._bind_all(executor, params, inputs)
+        executor.run()
+        return RealizationReport(self._finalize(flat_output), counters,
+                                 all_listeners)
 
-        # Bind scalar parameters.
+    def realize_batch(self, batch: Sequence[Optional[Dict[str, np.ndarray]]],
+                      params: Optional[Dict[str, object]] = None) -> List[np.ndarray]:
+        """Run the compiled program over a batch of inputs (one compile, N runs).
+
+        ``batch`` holds one ``inputs`` dict per item (``None`` for pipelines
+        whose images are all pre-bound Buffers).  Batch items are dispatched
+        across the worker pool selected by the target — threads by default,
+        processes under ``Target(parallel="process")`` — with *loop-level*
+        parallelism disabled inside each item: batch-level parallelism
+        composes with, and outranks, loop-level.  Output is bit-identical to
+        N sequential :meth:`run` calls; an input whose shape mismatches the
+        compiled layout is rejected at bind time, before anything runs.
+        """
+        items = list(batch)
+        if not items:
+            return []
+        # Bind every item first (shape errors surface before any dispatch),
+        # against a serial inner target.
+        inner_target = _dc_replace(self.target, threads=None, parallel=None)
+        prepared = []
+        for inputs in items:
+            executor = create_executor(self.lowered, listeners=(),
+                                       target=inner_target)
+            prepared.append((executor, self._bind_all(executor, params, inputs)))
+
+        workers = self.target.threads or 1
+        use_process = False
+        if getattr(self.target, "parallel", None) == "process" and \
+                self.target.backend == "compiled":
+            from repro.codegen.process_runtime import process_pool_available
+
+            use_process = process_pool_available()
+        if use_process and len(items) > 1 and workers > 1:
+            self._run_batch_processes(prepared, workers)
+        elif workers > 1 and len(items) > 1:
+            self._run_batch_threads(prepared, workers)
+        else:
+            for executor, _ in prepared:
+                executor.run()
+        return [self._finalize(flat) for _, flat in prepared]
+
+    def _run_batch_threads(self, prepared, workers: int) -> None:
+        from repro.codegen.parallel_runtime import get_pool
+
+        pool = get_pool(workers)
+        futures = [pool.submit(executor.run) for executor, _ in prepared]
+        _drain_futures(futures)
+
+    def _run_batch_processes(self, prepared, workers: int) -> None:
+        """Ship whole-pipeline runs to worker processes, one per batch item.
+
+        The bound (scope, buffers) pair pickles over; the worker re-execs
+        the program source (cached by digest) and sends the filled output
+        buffer back by value.
+        """
+        from repro.codegen.process_runtime import (
+            _worker_run_pipeline,
+            get_process_pool,
+        )
+        from repro.codegen.source_backend import compile_lowered
+
+        program = compile_lowered(self.lowered)
+        pool = get_process_pool(workers)
+        futures = [
+            pool.submit(_worker_run_pipeline, program.digest, program.source,
+                        executor.scope, executor.buffers, self._output_name)
+            for executor, _ in prepared
+        ]
+        results = _drain_futures(futures)
+        for (_, flat), result in zip(prepared, results):
+            flat[...] = result
+
+    # -- run plumbing ---------------------------------------------------
+    def _bind_all(self, executor, params: Optional[Dict[str, object]],
+                  inputs: Optional[Dict[str, np.ndarray]]) -> np.ndarray:
+        """Bind bounds, params, and images; returns the flat output buffer."""
+        for dim, size in zip(self._dim_names, self.sizes):
+            executor.bind(f"{self._output_name}.{dim}.min", 0)
+            executor.bind(f"{self._output_name}.{dim}.extent", size)
+            executor.bind(f"{self._output_name}.{dim}.max", size - 1)
+
         for name, value in (params or {}).items():
             executor.bind(name, value)
 
@@ -192,16 +314,16 @@ class CompiledPipeline:
                 self._bind_image(executor, name, np.asarray(array))
 
         # Pre-allocate the output buffer so it survives the Allocate scope.
-        out_dtype = output.output_type.to_numpy_dtype()
-        flat_output = np.zeros(int(np.prod(rounded_shape)) if rounded_shape else 1,
-                               dtype=out_dtype)
-        executor.provide_buffer(output.name, flat_output)
+        flat_output = np.zeros(
+            int(np.prod(self._rounded_shape)) if self._rounded_shape else 1,
+            dtype=self._out_dtype)
+        executor.provide_buffer(self._output_name, flat_output)
+        return flat_output
 
-        executor.run()
-
-        result = flat_output.reshape(rounded_shape, order="F")
-        window = tuple(slice(0, s) for s in sizes)
-        return RealizationReport(result[window].copy(), counters, all_listeners)
+    def _finalize(self, flat_output: np.ndarray) -> np.ndarray:
+        result = flat_output.reshape(self._rounded_shape, order="F")
+        window = tuple(slice(0, s) for s in self.sizes)
+        return result[window].copy()
 
     def _bind_image(self, executor, name: str, array: np.ndarray) -> None:
         """Bind one input image, checking it still matches the compiled layout.
@@ -210,24 +332,69 @@ class CompiledPipeline:
         held CompiledPipeline after rebinding a differently-shaped image would
         silently misread memory, so mismatches fail loudly here.
         """
-        from repro.ir.op import const_value
-
-        layout = self.lowered.image_layouts.get(name)
-        if layout is not None:
-            baked = [const_value(extent) for extent in layout.extents]
-            if all(b is not None for b in baked) and \
-                    tuple(int(b) for b in baked) != tuple(array.shape):
-                raise ValueError(
-                    f"input image {name!r} has shape {tuple(array.shape)}, but this "
-                    f"CompiledPipeline was compiled for shape {tuple(int(b) for b in baked)}; "
-                    "recompile (Pipeline.compile / realize re-key the cache on image "
-                    "shapes automatically)"
-                )
+        baked = self._baked_shapes.get(name)
+        if baked is not None and baked != tuple(array.shape):
+            raise ValueError(
+                f"input image {name!r} has shape {tuple(array.shape)}, but this "
+                f"CompiledPipeline was compiled for shape {baked}; "
+                "recompile (Pipeline.compile / realize re-key the cache on image "
+                "shapes automatically)"
+            )
         executor.bind_input(name, array)
+
+    # -- persistence ----------------------------------------------------
+    def _disk_payload(self) -> Dict[str, object]:
+        """The JSON-serializable record the persistent cache stores."""
+        from repro.codegen.source_backend import compile_lowered
+
+        program = compile_lowered(self.lowered)
+        return {
+            "source": program.source,
+            "output_name": self._output_name,
+            "dim_names": list(self._dim_names),
+            "out_dtype": str(self._out_dtype),
+            "rounded_shape": [int(v) for v in self._rounded_shape],
+            "sizes": list(self.sizes),
+            "baked_shapes": {
+                name: (list(shape) if shape is not None else None)
+                for name, shape in self._baked_shapes.items()},
+        }
+
+    @classmethod
+    def _restore(cls, pipeline: "Pipeline", payload: Dict[str, object],
+                 sizes: Sequence[int], schedule: Schedule, target: Target,
+                 options: Optional[LoweringOptions], cache_key=None,
+                 images: Optional[Dict[str, object]] = None) -> "CompiledPipeline":
+        """Rebuild a CompiledPipeline from a persistent-cache payload
+        (re-``exec`` the stored source; no lowering happens)."""
+        from repro.codegen.source_backend import make_program
+
+        program = make_program(
+            str(payload["source"]),
+            f"<repro.restored:{payload['output_name']}>")
+        return cls(pipeline, _RestoredLowering(program), sizes, schedule,
+                   target, options, cache_key=cache_key, images=images,
+                   meta=payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CompiledPipeline({self.lowered.output.name!r}, sizes={self.sizes}, "
                 f"target={self.target}, schedule={self.schedule.digest()})")
+
+
+def _drain_futures(futures) -> List[object]:
+    """Wait for all futures; re-raise the first failure after the rest drain
+    (keeps pool state consistent — same policy as the parallel runtimes)."""
+    results, first_error = [], None
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            results.append(None)
+            if first_error is None:
+                first_error = error
+    if first_error is not None:
+        raise first_error
+    return results
 
 
 def _options_key(options: Optional[LoweringOptions]):
@@ -272,13 +439,27 @@ def _cache_key(schedule: Schedule, sizes: Optional[Sequence[int]],
             _algorithm_key(env), _images_key(images))
 
 
+def _disk_key_string(key) -> str:
+    """The printable, process-stable form of a compile-cache key.
+
+    The key tuple is built from primitives only (digests, names, ints), so
+    its ``repr`` is deterministic across processes — that is what makes
+    warm starts hit.  The package version is prepended so an upgrade never
+    reuses programs generated by older codegen.
+    """
+    from repro import __version__
+
+    return f"repro/{__version__}/{key!r}"
+
+
 class Pipeline:
     """A compile-once / run-many image processing pipeline rooted at one Func."""
 
     #: Default bound on cached compilations per Pipeline (LRU eviction).
     DEFAULT_CACHE_SIZE = 64
 
-    def __init__(self, output, cache_size: Optional[int] = None):
+    def __init__(self, output, cache_size: Optional[int] = None,
+                 disk_cache=None):
         # Accept either a lang.Func or a core Function.
         self.output_function: Function = getattr(output, "function", output)
         self._cache_maxsize = int(cache_size if cache_size is not None
@@ -286,6 +467,12 @@ class Pipeline:
         self._compile_cache: "OrderedDict[tuple, CompiledPipeline]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        #: Persistent compile cache: a PersistentCache, a directory path,
+        #: False (disabled, ignoring REPRO_CACHE_DIR), or None (use
+        #: REPRO_CACHE_DIR when set).
+        self._disk_cache_param = disk_cache
+        self._env_disk_cache = None
+        self._lowerings = 0
 
     # ------------------------------------------------------------------
     # compilation
@@ -345,6 +532,24 @@ class Pipeline:
             return cached
         self._cache_misses += 1
 
+        # On an LRU miss, try the persistent cache (compiled backend only:
+        # its program is source text, which survives a process restart).
+        disk = self._resolve_disk_cache() if target.backend == "compiled" else None
+        key_str = _disk_key_string(key) if disk is not None else None
+        if disk is not None:
+            payload = disk.load(key_str)
+            if payload is not None:
+                try:
+                    compiled = CompiledPipeline._restore(
+                        self, payload, sizes, sched, target, options,
+                        cache_key=key, images=images)
+                except Exception:
+                    # A well-formed entry whose source no longer execs
+                    # (format drift, manual tampering): recompile over it.
+                    disk.errors += 1
+                else:
+                    return self._cache_insert(key, compiled)
+
         overrides = sched.func_schedules(env) if explicit else None
         lowered = self._lower(sizes=sizes, schedules=overrides, options=options)
         if target.backend == "compiled":
@@ -356,15 +561,53 @@ class Pipeline:
             compile_lowered(lowered)
         compiled = CompiledPipeline(self, lowered, sizes, sched, target, options,
                                     cache_key=key, images=images)
+        if disk is not None:
+            disk.store(key_str, compiled._disk_payload())
+        return self._cache_insert(key, compiled)
+
+    def _cache_insert(self, key, compiled: CompiledPipeline) -> CompiledPipeline:
         self._compile_cache[key] = compiled
         while len(self._compile_cache) > self._cache_maxsize:
             self._compile_cache.popitem(last=False)
         return compiled
 
+    def _resolve_disk_cache(self):
+        """The active PersistentCache (explicit param > env var > None)."""
+        from repro.runtime.disk_cache import PersistentCache, default_cache_dir
+
+        param = self._disk_cache_param
+        if param is False:
+            return None
+        if param is not None:
+            if not isinstance(param, PersistentCache):
+                param = PersistentCache(param)
+                self._disk_cache_param = param
+            return param
+        directory = default_cache_dir()
+        if directory is None:
+            return None
+        cache = self._env_disk_cache
+        if cache is None or str(cache.directory) != directory:
+            cache = PersistentCache(directory)
+            self._env_disk_cache = cache
+        return cache
+
     def cache_info(self) -> CacheInfo:
         """Hit/miss/occupancy counters of the compilation cache."""
         return CacheInfo(self._cache_hits, self._cache_misses,
                          self._cache_maxsize, len(self._compile_cache))
+
+    def disk_cache_info(self) -> DiskCacheInfo:
+        """Counters of the persistent cache, plus lowerings performed.
+
+        ``lowerings`` counts actual lowering runs by this Pipeline — a warm
+        start that restores every compiled program from disk shows zero.
+        """
+        disk = self._resolve_disk_cache()
+        if disk is None:
+            return DiskCacheInfo(0, 0, 0, 0, self._lowerings)
+        return DiskCacheInfo(disk.hits, disk.misses, disk.errors, disk.stores,
+                             self._lowerings)
 
     def cache_clear(self) -> None:
         """Drop all cached compilations (counters reset too)."""
@@ -378,6 +621,7 @@ class Pipeline:
         output_bounds = None
         if sizes is not None:
             output_bounds = [(0, int(size)) for size in sizes]
+        self._lowerings += 1
         return lower(self.output_function, schedule_overrides=schedules, options=options,
                      output_bounds=output_bounds)
 

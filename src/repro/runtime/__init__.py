@@ -19,10 +19,18 @@ from repro.runtime.backend import (
     validate_backend_name,
 )
 from repro.runtime.counters import Counters, ExecutionListener
+from repro.runtime.disk_cache import (
+    CACHE_DIR_ENV_VAR,
+    PersistentCache,
+    default_cache_dir,
+)
 from repro.runtime.executor import ExecutionError, Executor
 from repro.runtime.target import Target, as_target
 
 __all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "PersistentCache",
+    "default_cache_dir",
     "Executor",
     "ExecutionError",
     "Counters",

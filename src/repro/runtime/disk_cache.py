@@ -1,0 +1,125 @@
+"""Persistent on-disk compile cache (warm starts across processes).
+
+The in-memory LRU in :class:`~repro.pipeline.Pipeline` amortizes lowering
+within one process; a serving deployment restarts processes all the time, so
+this module persists compiled programs under a configurable directory.  Each
+entry is one JSON file storing the generated Python source (the ``compiled``
+backend's program *is* source text — nothing binary to serialize) plus the
+run-time metadata a restored :class:`~repro.pipeline.CompiledPipeline` needs
+(output name, dims, dtype, rounded shape, baked image shapes).
+
+Design constraints, in order:
+
+* **Never wrong**: entries embed the full cache-key string and a format
+  version; both must match exactly on load, so a hash collision or a format
+  change degrades to a recompile, never a wrong program.
+* **Never crash**: a truncated, corrupt, or unreadable file counts as a
+  miss (tracked in :attr:`PersistentCache.errors`) and is recompiled over.
+* **Concurrent-writer safe**: stores write to a temp file in the same
+  directory and ``os.replace`` it into place — readers see either the old
+  or the new complete entry, and the last writer wins.
+
+The default cache directory comes from the ``REPRO_CACHE_DIR`` environment
+variable (unset ⇒ persistence disabled); tests and the serving demo pass an
+explicit directory instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["PersistentCache", "CACHE_DIR_ENV_VAR", "default_cache_dir"]
+
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Bump when the payload layout changes; old entries then read as misses.
+FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Optional[str]:
+    """The ``REPRO_CACHE_DIR`` directory, or None when persistence is off."""
+    return os.environ.get(CACHE_DIR_ENV_VAR) or None
+
+
+class PersistentCache:
+    """A directory of compiled-program entries keyed by exact key strings.
+
+    ``key_str`` is the printable form of the Pipeline compile-cache key
+    (schedule digest, sizes, target, options, algorithm fingerprint, image
+    shapes) — anything that would change the generated program changes the
+    string.  Filenames are a hash of the key; the key itself is stored in
+    the entry and compared on load, so collisions cannot alias.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.stores = 0
+
+    def _path(self, key_str: str) -> Path:
+        digest = hashlib.sha256(key_str.encode("utf-8")).hexdigest()
+        return self.directory / f"{digest[:32]}.json"
+
+    def load(self, key_str: str) -> Optional[dict]:
+        """The stored payload for ``key_str``, or None (miss or bad entry)."""
+        path = self._path(key_str)
+        try:
+            data = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError:
+            self.errors += 1
+            return None
+        try:
+            payload = json.loads(data)
+            if payload.get("format") != FORMAT_VERSION or \
+                    payload.get("key") != key_str or \
+                    not isinstance(payload.get("source"), str):
+                raise ValueError("stale or foreign cache entry")
+        except Exception:
+            # Truncated write, corruption, format drift: recompile over it.
+            self.errors += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key_str: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key_str`` (best effort).
+
+        A failure to persist (read-only directory, disk full) is swallowed:
+        the cache accelerates restarts, it must never fail a compile.
+        """
+        path = self._path(key_str)
+        record = dict(payload)
+        record["format"] = FORMAT_VERSION
+        record["key"] = key_str
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=path.stem, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self.stores += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PersistentCache({str(self.directory)!r}, hits={self.hits}, "
+                f"misses={self.misses}, errors={self.errors}, "
+                f"stores={self.stores})")

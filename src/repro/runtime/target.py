@@ -42,10 +42,23 @@ class Target:
     threads: Optional[int] = None
     #: Name of a machine profile (see :data:`repro.machine.profiles.PROFILES`).
     profile: Optional[str] = None
+    #: How ``ForType.PARALLEL`` loops execute on the ``compiled`` backend:
+    #: ``"thread"`` (the default, a shared thread pool) or ``"process"`` (a
+    #: process pool with shared-memory buffers, sidestepping the GIL; falls
+    #: back to threads when process pools are unavailable).  ``threads``
+    #: sizes the worker pool in either mode.
+    parallel: Optional[str] = None
+
+    #: The parallel modes :attr:`parallel` accepts (``None`` means thread).
+    PARALLEL_MODES = ("thread", "process")
 
     def __post_init__(self):
         resolved = validate_backend_name(resolve_backend_name(self.backend))
         object.__setattr__(self, "backend", resolved)
+        if self.parallel is not None and self.parallel not in self.PARALLEL_MODES:
+            raise ValueError(
+                f"Target.parallel must be one of {self.PARALLEL_MODES} (or None), "
+                f"got {self.parallel!r}")
         profile = self.profile
         if profile is not None and not isinstance(profile, str):
             # Accept MachineProfile instances; store the stable name.
@@ -105,7 +118,8 @@ class Target:
 
     def key(self) -> Tuple:
         """A hashable cache-key component identifying this target."""
-        return (self.backend, self.vector_width, self.threads, self.profile)
+        return (self.backend, self.vector_width, self.threads, self.profile,
+                self.parallel)
 
     # ------------------------------------------------------------------
     # serialization
@@ -116,6 +130,7 @@ class Target:
             "vector_width": self.vector_width,
             "threads": self.threads,
             "profile": self.profile,
+            "parallel": self.parallel,
         }
 
     @classmethod
@@ -125,6 +140,7 @@ class Target:
             vector_width=data.get("vector_width"),
             threads=data.get("threads"),
             profile=data.get("profile"),
+            parallel=data.get("parallel"),
         )
 
     def __str__(self) -> str:
@@ -133,6 +149,8 @@ class Target:
             parts.append(f"vec{self.vector_width}")
         if self.threads is not None:
             parts.append(f"threads{self.threads}")
+        if self.parallel is not None:
+            parts.append(self.parallel)
         if self.profile is not None:
             parts.append(self.profile)
         return "-".join(parts)

@@ -107,6 +107,36 @@ def test_long_corpus_case(seed):
     run_case(FuzzCase.from_seed(seed), raise_on_failure=True)
 
 
+#: Pinned slice for the process-pool leg: smaller than SMOKE_SEEDS because
+#: each case realizes at two extra targets (workers 1 and 2).
+PROCESS_SMOKE_SEEDS = tuple(range(6))
+
+
+@pytest.mark.parametrize("seed", PROCESS_SMOKE_SEEDS)
+def test_smoke_corpus_case_process_pool(seed):
+    """Tier-1: the process-pool leg is bit-identical to interp at workers
+    {1, 2} (skipped where shared memory is unavailable)."""
+    from repro.codegen.process_runtime import process_pool_available
+
+    if not process_pool_available():
+        pytest.skip("process pools unavailable on this platform")
+    run_case(FuzzCase.from_seed(seed, process_worker_counts=(1, 2)),
+             raise_on_failure=True)
+
+
+def test_process_worker_counts_do_not_change_case_keys():
+    """Adding the process leg must not invalidate existing corpora: a case
+    without process workers serializes exactly as the pre-leg format."""
+    plain = FuzzCase.from_seed(3)
+    assert "process_worker_counts" not in plain.to_dict()
+    with_leg = FuzzCase.from_seed(3, process_worker_counts=(1, 2))
+    assert with_leg.to_dict()["process_worker_counts"] == [1, 2]
+    assert plain.key() != with_leg.key()
+    replayed = FuzzCase.from_json(with_leg.to_json())
+    assert replayed.process_worker_counts == (1, 2)
+    assert replayed.key() == with_leg.key()
+
+
 def test_case_from_seed_prevalidates_schedule():
     """from_seed only emits schedules the compiler accepts, so invalid
     reports are unreachable on the happy path."""

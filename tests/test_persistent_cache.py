@@ -1,0 +1,343 @@
+"""The persistent compile cache (``repro.runtime.disk_cache``) and the
+batched execution API (``CompiledPipeline.realize_batch``).
+
+The cache's contract, in order of importance:
+
+* **never wrong** — a warm start must produce bit-identical output, and any
+  change to the algorithm (``definition_version``), schedule, sizes, target,
+  or bound-image shapes must miss;
+* **never crash** — truncated, garbage, or semantically-broken entries are
+  recompiled over (counted in ``errors``), not raised to the user;
+* **concurrent-writer safe** — simultaneous stores leave one complete,
+  readable entry.
+
+``realize_batch`` amortizes one compile over N inputs: the batch must be
+bit-equal to N serial ``run()`` calls under every dispatch mode, an empty
+batch is a no-op, and a shape-mismatched item fails at bind time (before
+anything runs).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.lang import Buffer, Func, ImageParam, Var, clamp
+from repro.pipeline import CompiledPipeline, DiskCacheInfo, Pipeline, _disk_key_string
+from repro.runtime.disk_cache import PersistentCache
+from repro.runtime.target import Target
+from repro.core.pipeline_schedule import Schedule
+from repro.types import Float
+
+
+def _make_algorithm():
+    """A two-stage pipeline over an ImageParam, rebuilt identically per call
+    (same function names and definition versions), so separate builds produce
+    the same cache key — the warm-start scenario within one process."""
+    x, y = Var("x"), Var("y")
+    img = ImageParam(Float(32), 2, name="serve_in")
+    f, g = Func("serve_f"), Func("serve_g")
+    f[x, y] = img[clamp(x, 0, 7), clamp(y, 0, 5)] * 2.0
+    g[x, y] = f[x, y] + 1.0
+    return g, img
+
+
+def _input_image(seed=0, shape=(8, 6)):
+    rng = np.random.default_rng(seed)
+    return np.asfortranarray(rng.random(shape).astype(np.float32))
+
+
+SIZES = [6, 5]
+SCHEDULE = Schedule().func("serve_f").compute_root().schedule
+
+
+def _compile(cache_dir, target="compiled", bind=True):
+    output, img = _make_algorithm()
+    if bind:
+        img.set(Buffer(_input_image(), name="serve_in"))
+    pipeline = Pipeline(output, disk_cache=cache_dir)
+    compiled = pipeline.compile(SIZES, schedule=SCHEDULE, target=target)
+    return pipeline, compiled, img
+
+
+# ---------------------------------------------------------------------------
+# cold / warm starts
+# ---------------------------------------------------------------------------
+
+class TestPersistence:
+    def test_cold_start_misses_compiles_and_stores(self, tmp_path):
+        pipeline, compiled, _ = _compile(tmp_path)
+        assert pipeline.disk_cache_info() == DiskCacheInfo(
+            hits=0, misses=1, errors=0, stores=1, lowerings=1)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        payload = json.loads(entries[0].read_text())
+        assert payload["key"] == _disk_key_string(compiled.key())
+        assert "def _pipeline" in payload["source"]
+
+    def test_warm_start_restores_without_relowering(self, tmp_path):
+        _, first, _ = _compile(tmp_path)
+        reference = first.run()
+        # A fresh Pipeline over a fresh (identical) algorithm: the disk entry
+        # must supply the program — zero lowerings, bit-identical output.
+        pipeline, compiled, _ = _compile(tmp_path)
+        info = pipeline.disk_cache_info()
+        assert info.hits == 1 and info.misses == 0
+        assert info.lowerings == 0
+        assert compiled.run().tobytes() == reference.tobytes()
+
+    def test_restored_pipeline_reruns_and_batches(self, tmp_path):
+        _compile(tmp_path)
+        _, compiled, _ = _compile(tmp_path)
+        a, b = compiled.run(), compiled.run()
+        assert a.tobytes() == b.tobytes()
+        batch = compiled.realize_batch([None, None])
+        assert all(item.tobytes() == a.tobytes() for item in batch)
+
+    def test_interp_target_never_touches_disk(self, tmp_path):
+        pipeline, _, _ = _compile(tmp_path, target="interp")
+        info = pipeline.disk_cache_info()
+        assert info.misses == 0 and info.stores == 0
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        output, img = _make_algorithm()
+        img.set(Buffer(_input_image(), name="serve_in"))
+        pipeline = Pipeline(output)  # no explicit disk_cache: env var applies
+        pipeline.compile(SIZES, schedule=SCHEDULE, target="compiled")
+        assert pipeline.disk_cache_info().stores == 1
+        assert list(tmp_path.glob("*.json"))
+
+    def test_disk_cache_false_disables_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        output, img = _make_algorithm()
+        img.set(Buffer(_input_image(), name="serve_in"))
+        pipeline = Pipeline(output, disk_cache=False)
+        pipeline.compile(SIZES, schedule=SCHEDULE, target="compiled")
+        assert not list(tmp_path.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# invalidation
+# ---------------------------------------------------------------------------
+
+class TestInvalidation:
+    def test_definition_version_bump_misses(self, tmp_path):
+        output, img = _make_algorithm()
+        img.set(Buffer(_input_image(), name="serve_in"))
+        Pipeline(output, disk_cache=tmp_path).compile(
+            SIZES, schedule=SCHEDULE, target="compiled")
+        # Redefine a stage: the algorithm fingerprint embeds every function's
+        # definition_version, so the stored entry must not be reused.
+        x, y = Var("x"), Var("y")
+        output[x, y] = output[x, y] + 100.0
+        pipeline = Pipeline(output, disk_cache=tmp_path)
+        compiled = pipeline.compile(SIZES, schedule=SCHEDULE, target="compiled")
+        info = pipeline.disk_cache_info()
+        assert info.hits == 0 and info.misses == 1 and info.lowerings == 1
+        out = compiled.run()
+        interp = Pipeline(output).realize(
+            SIZES, schedule=SCHEDULE, target="interp")
+        assert out.tobytes() == interp.tobytes()
+
+    def test_schedule_and_sizes_key_separately(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        _compile(cache)
+        output, img = _make_algorithm()
+        img.set(Buffer(_input_image(), name="serve_in"))
+        pipeline = Pipeline(output, disk_cache=cache)
+        pipeline.compile([4, 4], schedule=SCHEDULE, target="compiled")
+        other = Schedule().func("serve_g").parallel("y").schedule
+        pipeline.compile(SIZES, schedule=other, target="compiled")
+        assert cache.hits == 0 and cache.misses == 3
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+
+# ---------------------------------------------------------------------------
+# corruption tolerance
+# ---------------------------------------------------------------------------
+
+class TestCorruption:
+    def _entry_path(self, tmp_path):
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        return entries[0]
+
+    def test_garbage_file_recompiles_and_heals(self, tmp_path):
+        _, first, _ = _compile(tmp_path)
+        reference = first.run()
+        path = self._entry_path(tmp_path)
+        path.write_text("{ not json", encoding="utf-8")
+        pipeline, compiled, _ = _compile(tmp_path)
+        info = pipeline.disk_cache_info()
+        assert info.errors == 1 and info.lowerings == 1 and info.stores == 1
+        assert compiled.run().tobytes() == reference.tobytes()
+        # The recompile stored a fresh entry over the garbage: next start hits.
+        pipeline, _, _ = _compile(tmp_path)
+        assert pipeline.disk_cache_info().hits == 1
+
+    def test_truncated_file_recompiles(self, tmp_path):
+        _compile(tmp_path)
+        path = self._entry_path(tmp_path)
+        path.write_text(path.read_text(encoding="utf-8")[:40], encoding="utf-8")
+        pipeline, compiled, _ = _compile(tmp_path)
+        assert pipeline.disk_cache_info().errors == 1
+        assert compiled.run() is not None
+
+    def test_valid_json_with_broken_source_recompiles(self, tmp_path):
+        """A well-formed entry whose stored program no longer execs (format
+        drift, manual tampering) degrades to a recompile, never a crash."""
+        _compile(tmp_path)
+        path = self._entry_path(tmp_path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["source"] = "x = 1\n"  # execs fine but defines no _pipeline
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        pipeline, compiled, _ = _compile(tmp_path)
+        info = pipeline.disk_cache_info()
+        assert info.errors == 1 and info.lowerings == 1
+        assert compiled.run() is not None
+
+    def test_stale_format_version_is_a_miss_not_an_error(self, tmp_path):
+        _compile(tmp_path)
+        path = self._entry_path(tmp_path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["format"] = -1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        cache = PersistentCache(tmp_path)
+        key_str = payload["key"]
+        assert cache.load(key_str) is None
+        assert cache.errors == 1 and cache.hits == 0
+
+    def test_foreign_key_in_entry_cannot_alias(self, tmp_path):
+        """Filenames are hashes; the embedded key must match exactly, so a
+        (hypothetical) collision degrades to a recompile."""
+        cache = PersistentCache(tmp_path)
+        cache.store("key-a", {"source": "def _pipeline(s, b, r): pass\n"})
+        path = cache._path("key-a")
+        path.rename(cache._path("key-b"))
+        assert cache.load("key-b") is None
+
+    def test_store_to_unwritable_directory_is_best_effort(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        cache = PersistentCache(blocker / "sub")
+        cache.store("k", {"source": "pass"})  # must not raise
+        assert cache.stores == 0
+
+
+# ---------------------------------------------------------------------------
+# concurrent writers
+# ---------------------------------------------------------------------------
+
+class TestConcurrency:
+    def test_two_concurrent_writers_leave_a_readable_entry(self, tmp_path):
+        """Simultaneous cold starts race to store the same key; the atomic
+        write-then-rename means the survivor is always a complete entry."""
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def compile_one():
+            try:
+                output, img = _make_algorithm()
+                img.set(Buffer(_input_image(), name="serve_in"))
+                pipeline = Pipeline(output, disk_cache=tmp_path)
+                barrier.wait(timeout=30)
+                pipeline.compile(SIZES, schedule=SCHEDULE, target="compiled")
+            except Exception as error:  # pragma: no cover - failure detail
+                failures.append(error)
+
+        threads = [threading.Thread(target=compile_one) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not failures
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert not list(tmp_path.glob("*.tmp"))  # temp files cleaned up
+        pipeline, compiled, _ = _compile(tmp_path)
+        assert pipeline.disk_cache_info() == DiskCacheInfo(
+            hits=1, misses=0, errors=0, stores=0, lowerings=0)
+        assert compiled.run() is not None
+
+    def test_raw_store_race_single_key(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        payload = {"source": "def _pipeline(scope, buffers, rt):\n    pass\n"}
+        barrier = threading.Barrier(4)
+
+        def store_one():
+            barrier.wait(timeout=30)
+            PersistentCache(tmp_path).store("shared-key", payload)
+
+        threads = [threading.Thread(target=store_one) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        loaded = cache.load("shared-key")
+        assert loaded is not None and loaded["source"] == payload["source"]
+
+
+# ---------------------------------------------------------------------------
+# batched execution
+# ---------------------------------------------------------------------------
+
+def _batch_inputs(count):
+    return [{"serve_in": _input_image(seed)} for seed in range(count)]
+
+
+class TestRealizeBatch:
+    @pytest.mark.parametrize("target", [
+        Target("compiled"),
+        Target("compiled", threads=2),
+    ])
+    def test_batch_bit_equals_serial_runs(self, target, tmp_path):
+        _, compiled, _ = _compile(tmp_path, target=target)
+        batch = _batch_inputs(5)
+        serial = [compiled.run(inputs=item) for item in batch]
+        batched = compiled.realize_batch(batch)
+        assert len(batched) == 5
+        for got, want in zip(batched, serial):
+            assert got.tobytes() == want.tobytes()
+
+    def test_batch_of_identical_inputs(self, tmp_path):
+        _, compiled, _ = _compile(tmp_path, target=Target("compiled", threads=2))
+        item = {"serve_in": _input_image(9)}
+        want = compiled.run(inputs=item)
+        batched = compiled.realize_batch([item] * 4)
+        assert all(out.tobytes() == want.tobytes() for out in batched)
+
+    def test_batch_process_dispatch_bit_identical(self, tmp_path):
+        from repro.codegen.process_runtime import process_pool_available
+
+        if not process_pool_available():
+            pytest.skip("process pools unavailable on this platform")
+        _, compiled, _ = _compile(
+            tmp_path, target=Target("compiled", threads=2, parallel="process"))
+        batch = _batch_inputs(4)
+        serial = [compiled.run(inputs=item) for item in batch]
+        batched = compiled.realize_batch(batch)
+        for got, want in zip(batched, serial):
+            assert got.tobytes() == want.tobytes()
+
+    def test_empty_batch(self, tmp_path):
+        _, compiled, _ = _compile(tmp_path, target=Target("compiled", threads=2))
+        assert compiled.realize_batch([]) == []
+
+    def test_mixed_shapes_rejected_at_bind_time(self, tmp_path):
+        _, compiled, _ = _compile(tmp_path)
+        bad = {"serve_in": _input_image(shape=(16, 12))}
+        with pytest.raises(ValueError, match="compiled for shape"):
+            compiled.realize_batch([_batch_inputs(1)[0], bad])
+
+    def test_batch_works_on_restored_pipeline(self, tmp_path):
+        _compile(tmp_path)
+        pipeline, compiled, _ = _compile(tmp_path)
+        assert pipeline.disk_cache_info().lowerings == 0
+        batch = _batch_inputs(3)
+        serial = [compiled.run(inputs=item) for item in batch]
+        for got, want in zip(compiled.realize_batch(batch), serial):
+            assert got.tobytes() == want.tobytes()

@@ -1,0 +1,270 @@
+"""The process-pool parallel runtime (``Target(parallel="process")``).
+
+Mirrors ``test_parallel_runtime_edges.py`` at the pipeline level — parallel
+schedules over tiny/awkward extents must be bit-identical to the interpreter
+at workers 1 and 2 — and adds the process-specific obligations:
+
+* worker exceptions propagate to the caller with the original type and the
+  remote traceback attached, and the pool keeps serving afterwards (no hang);
+* a run leaves no shared-memory segments behind (orderly session teardown),
+  including when the run fails mid-way;
+* ``Target`` validation and the automatic thread fallback when process pools
+  are unavailable (``REPRO_DISABLE_PROCESS_POOL``).
+
+The whole module skips where shared memory does not work (no /dev/shm).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.codegen import process_runtime
+from repro.codegen.process_runtime import (
+    ProcessPoolRuntime,
+    process_pool_available,
+    shutdown_process_pools,
+)
+from repro.core.pipeline_schedule import Schedule
+from repro.lang import Buffer, Func, Var, clamp
+from repro.pipeline import Pipeline
+from repro.runtime.target import Target
+
+pytestmark = pytest.mark.skipif(
+    not process_pool_available(),
+    reason="shared memory / process pools unavailable on this platform")
+
+
+def _shm_entries():
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except OSError:  # non-Linux: rely on the runtime's own bookkeeping
+        return set()
+
+
+@pytest.fixture
+def no_leaked_segments():
+    before = _shm_entries()
+    yield
+    shutdown_process_pools()
+    leaked = _shm_entries() - before
+    assert not leaked, f"leaked shared_memory segments: {sorted(leaked)}"
+
+
+def _two_stage_pipeline():
+    rng = np.random.default_rng(77)
+    image = Buffer(rng.random((19, 11)).astype(np.float32), name="in")
+    x, y = Var("x"), Var("y")
+    f, g = Func("f"), Func("g")
+    f[x, y] = image[clamp(x, 0, 18), clamp(y, 0, 10)] * 2.0 + 1.0
+    g[x, y] = f[x, y] + f[x, y] * 0.5
+    return g
+
+
+def _realize_all_workers(output, sizes, schedule, workers=(1, 2)):
+    pipeline = Pipeline(output)
+    results = {}
+    for count in workers:
+        results[count] = pipeline.realize(
+            sizes, schedule=schedule,
+            target=Target("compiled", threads=count, parallel="process"))
+    reference = pipeline.realize(sizes, schedule=schedule, target="interp")
+    return reference, results
+
+
+# ---------------------------------------------------------------------------
+# pipeline-level parity on awkward extents
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("sizes", [[1, 1], [3, 2], [5, 3], [19, 11]])
+def test_parallel_output_tiny_extents_bit_identical(sizes, no_leaked_segments):
+    """Zero-ish / sub-chunk-count / non-divisible extents: not one byte may
+    change between process workers and the scalar interpreter."""
+    schedule = (Schedule().func("f").compute_root()
+                .func("g").parallel("y").schedule)
+    reference, results = _realize_all_workers(_two_stage_pipeline(), sizes, schedule)
+    for count, out in results.items():
+        assert out.tobytes() == reference.tobytes(), f"workers={count}"
+
+
+@pytest.mark.parametrize("sizes", [[4, 4], [7, 5], [19, 11]])
+def test_nested_parallel_loops_bit_identical(sizes, no_leaked_segments):
+    """Both tile loops parallel: the inner PARALLEL loop runs inline inside
+    worker processes (workers carry a serial inner runtime)."""
+    schedule = (Schedule().func("f").compute_root()
+                .func("g")
+                .split("x", "xo", "xi", 4)
+                .split("y", "yo", "yi", 4)
+                .reorder("xi", "yi", "xo", "yo")
+                .parallel("yo").parallel("xo").schedule)
+    reference, results = _realize_all_workers(_two_stage_pipeline(), sizes, schedule)
+    for count, out in results.items():
+        assert out.tobytes() == reference.tobytes(), f"workers={count}"
+
+
+@pytest.mark.parametrize("sizes", [[2, 2], [13, 7]])
+def test_parallel_producer_consumer_chain_bit_identical(sizes, no_leaked_segments):
+    """compute_at producer under the parallel consumer loop: per-iteration
+    scratch allocations stay private to each worker process."""
+    schedule = (Schedule().func("g").parallel("y")
+                .func("f").compute_at("g", "y").store_at("g", "y").schedule)
+    reference, results = _realize_all_workers(_two_stage_pipeline(), sizes, schedule)
+    for count, out in results.items():
+        assert out.tobytes() == reference.tobytes(), f"workers={count}"
+
+
+def test_serial_producer_feeding_parallel_consumer(no_leaked_segments):
+    """A compute_root stage written by the master must be visible to the
+    workers through the shared segments (not a stale private copy)."""
+    schedule = (Schedule().func("f").compute_root()
+                .func("g").split("y", "yo", "yi", 4).parallel("yo").schedule)
+    reference, results = _realize_all_workers(_two_stage_pipeline(), [19, 11], schedule)
+    for count, out in results.items():
+        assert out.tobytes() == reference.tobytes(), f"workers={count}"
+
+
+# ---------------------------------------------------------------------------
+# runtime primitives: dispatch conventions, exceptions, shutdown
+# ---------------------------------------------------------------------------
+
+class TestRuntimePrimitives:
+    def test_zero_extent_never_dispatches(self, no_leaked_segments):
+        runtime = ProcessPoolRuntime(2, source="", digest="empty")
+        try:
+            runtime.parallel_for(None, 0, 0, bufs={}, ctx={})  # body unused
+            runtime.parallel_for(None, 5, -3, bufs={}, ctx={})
+        finally:
+            runtime.close()
+
+    def test_chunks_cover_every_iteration_exactly_once(self, no_leaked_segments):
+        # A chunk function that increments its slice: any gap or overlap in
+        # the dispatched ranges shows up as a value != 1.
+        source = (
+            "def _chunk(bufs, ctx, rt, _lo, _hi):\n"
+            "    buf = bufs['acc']\n"
+            "    for i in range(_lo, _hi):\n"
+            "        buf[i] = buf[i] + ctx['step']\n"
+        )
+        from repro.codegen.source_backend import exec_source
+
+        body = exec_source(source, "<test-cover>")["_chunk"]
+        for extent in (1, 2, 3, 7, 16, 100):
+            runtime = ProcessPoolRuntime(2, source=source,
+                                         digest=f"cover-{extent}")
+            try:
+                acc = runtime.alloc({}, "acc", extent, np.int64)
+                runtime.parallel_for(body, 0, extent,
+                                     bufs={"acc": acc}, ctx={"step": 1})
+                assert acc.tolist() == [1] * extent, f"extent={extent}"
+            finally:
+                runtime.close()
+
+    def test_worker_exception_propagates_with_traceback(self, no_leaked_segments):
+        from repro.codegen.source_backend import exec_source
+
+        source = (
+            "def _chunk(bufs, ctx, rt, _lo, _hi):\n"
+            "    if _lo >= ctx['limit']:\n"
+            "        raise ValueError('boom at %d' % _lo)\n"
+        )
+        runtime = ProcessPoolRuntime(2, source=source, digest="boom")
+        try:
+            acc = runtime.alloc({}, "acc", 16, np.int64)
+            body = exec_source(source, "<test-boom>")["_chunk"]
+            with pytest.raises(ValueError, match="boom") as excinfo:
+                runtime.parallel_for(body, 0, 16,
+                                     bufs={"acc": acc}, ctx={"limit": 8})
+            # The remote traceback must surface (concurrent.futures chains
+            # it via __cause__ so the original raise site is visible).
+            assert excinfo.value.__cause__ is not None
+            assert "boom" in str(excinfo.value)
+        finally:
+            runtime.close()
+
+    def test_pool_survives_worker_exception(self, no_leaked_segments):
+        """After a failing dispatch the shared pool must keep serving."""
+        from repro.codegen.source_backend import exec_source
+
+        bad = ("def _chunk(bufs, ctx, rt, _lo, _hi):\n"
+               "    raise ValueError('always')\n")
+        good = ("def _chunk(bufs, ctx, rt, _lo, _hi):\n"
+                "    bufs['acc'][_lo:_hi] = 7\n")
+        runtime = ProcessPoolRuntime(2, source=bad, digest="bad-then-good")
+        try:
+            acc = runtime.alloc({}, "acc", 8, np.int64)
+            with pytest.raises(ValueError):
+                runtime.parallel_for(exec_source(bad, "<test-bad>")["_chunk"],
+                                     0, 8, bufs={"acc": acc}, ctx={})
+        finally:
+            runtime.close()
+        runtime = ProcessPoolRuntime(2, source=good, digest="good-after-bad")
+        try:
+            acc = runtime.alloc({}, "acc", 8, np.int64)
+            runtime.parallel_for(exec_source(good, "<test-good>")["_chunk"],
+                                 0, 8, bufs={"acc": acc}, ctx={})
+            assert acc.tolist() == [7] * 8
+        finally:
+            runtime.close()
+
+    def test_failed_pipeline_run_leaks_no_segments(self, no_leaked_segments):
+        """The executor's session teardown runs on the failure path too."""
+        x, y = Var("x"), Var("y")
+        g = Func("g")
+        g[x, y] = Var("unbound_param") * 1.0  # unbound at run time
+        pipeline = Pipeline(g)
+        compiled = pipeline.compile(
+            (4, 4), schedule=Schedule().func("g").parallel("y").schedule,
+            target=Target("compiled", threads=2, parallel="process"))
+        with pytest.raises(Exception):
+            compiled.run()
+
+    def test_close_is_idempotent(self, no_leaked_segments):
+        runtime = ProcessPoolRuntime(2, source="", digest="idem")
+        runtime.alloc({}, "acc", 4, np.float32)
+        runtime.close()
+        runtime.close()
+
+    def test_alloc_prefers_provided_buffers(self):
+        runtime = ProcessPoolRuntime(2, source="", digest="prov")
+        try:
+            provided = np.arange(5, dtype=np.float32)
+            assert runtime.alloc({"out": provided}, "out", 5, np.float32) is provided
+        finally:
+            runtime.close()
+
+
+# ---------------------------------------------------------------------------
+# target plumbing and fallback
+# ---------------------------------------------------------------------------
+
+class TestTargetPlumbing:
+    def test_parallel_mode_validated(self):
+        with pytest.raises(ValueError, match="parallel"):
+            Target("compiled", parallel="fibers")
+
+    def test_parallel_mode_in_key_and_roundtrip(self):
+        a = Target("compiled", threads=2)
+        b = Target("compiled", threads=2, parallel="process")
+        assert a.key() != b.key()
+        assert Target.from_dict(b.to_dict()) == b
+        assert "process" in str(b)
+
+    def test_disable_env_forces_thread_fallback(self, monkeypatch):
+        from repro.codegen import source_backend
+
+        monkeypatch.setenv("REPRO_DISABLE_PROCESS_POOL", "1")
+        assert not process_pool_available()
+        # The executor must fall back to threads (warning, not an error) and
+        # still produce the right answer.
+        schedule = (Schedule().func("f").compute_root()
+                    .func("g").parallel("y").schedule)
+        pipeline = Pipeline(_two_stage_pipeline())
+        reference = pipeline.realize([5, 3], schedule=schedule, target="interp")
+        monkeypatch.setattr(source_backend, "_PROCESS_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            out = pipeline.realize(
+                [5, 3], schedule=schedule,
+                target=Target("compiled", threads=2, parallel="process"))
+        assert out.tobytes() == reference.tobytes()
