@@ -11,6 +11,12 @@ from repro.analysis.interval import Interval, bounds_of_expr_in_scope
 from repro.analysis.bounds import Box, box_touched, box_union
 from repro.analysis.call_graph import build_environment, realization_order
 from repro.analysis.scope import Scope
+from repro.analysis.static_cost import (
+    StaticAnalysisError,
+    StaticCostAnalyzer,
+    analyze_lowered,
+    estimate_cost_static,
+)
 
 __all__ = [
     "Interval",
@@ -21,4 +27,8 @@ __all__ = [
     "build_environment",
     "realization_order",
     "Scope",
+    "StaticAnalysisError",
+    "StaticCostAnalyzer",
+    "analyze_lowered",
+    "estimate_cost_static",
 ]

@@ -5,17 +5,32 @@ random valid schedules and domain-informed "reasonable" schedules seed the
 population; each generation is built from elitism, tournament + two-point
 crossover, mutation (including the loop-fusion and template rules the paper
 describes), and fresh random individuals; candidates are validated by
-attempting to lower them, checked against a reference schedule's output, and
-scored either by the machine model (fast, deterministic) or by wall-clock
-interpretation.
+attempting to lower them and scored by the static cost model (default), the
+interpreter-event model, or wall-clock time.  Generations can be scored
+concurrently in worker processes, the statically-best survivors can be
+pruned into wall-clock measurements, and winners persist in a tuning
+database (``REPRO_TUNE_DB``) that warm-starts later runs and ships
+pre-tuned defaults for the seven paper apps.  See ``docs/autotuning.md``.
 """
 
 from repro.autotuner.search_space import ScheduleGenome, FunctionGene
 from repro.autotuner.random_schedule import random_genome, reasonable_genome
 from repro.autotuner.mutation import mutate_genome
 from repro.autotuner.crossover import crossover_genomes
-from repro.autotuner.evaluator import CostModelEvaluator, WallClockEvaluator
+from repro.autotuner.evaluator import (
+    INVALID_FITNESS,
+    REJECTION_ERRORS,
+    CostModelEvaluator,
+    WallClockEvaluator,
+)
 from repro.autotuner.genetic import AutotuneResult, Autotuner, TunerConfig
+from repro.autotuner.tuning_db import (
+    TuningDatabase,
+    TuningRecord,
+    default_tuning_db,
+    pipeline_fingerprint,
+)
+from repro.autotuner.pretuned import install_pretuned_defaults, pretuned_schedule
 
 __all__ = [
     "ScheduleGenome",
@@ -26,7 +41,15 @@ __all__ = [
     "crossover_genomes",
     "CostModelEvaluator",
     "WallClockEvaluator",
+    "INVALID_FITNESS",
+    "REJECTION_ERRORS",
     "Autotuner",
     "TunerConfig",
     "AutotuneResult",
+    "TuningDatabase",
+    "TuningRecord",
+    "default_tuning_db",
+    "pipeline_fingerprint",
+    "install_pretuned_defaults",
+    "pretuned_schedule",
 ]

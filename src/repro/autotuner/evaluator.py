@@ -3,7 +3,12 @@
 Two evaluators are provided:
 
 * :class:`CostModelEvaluator` — scores candidates with the abstract machine
-  model (deterministic, fast; used by tests and benchmarks);
+  model.  In its default ``mode="static"`` the score comes from
+  :func:`repro.analysis.static_cost.analyze_lowered` — a walk of the lowered
+  IR that never executes the pipeline, so a candidate costs microseconds to
+  score instead of a full interpreted run.  ``mode="dynamic"`` keeps the
+  interpreter-event model as a cross-check (tests assert the two agree on
+  op/load/store counts and schedule ordering).
 * :class:`WallClockEvaluator` — times real executions, matching the paper's
   use of measured running time.  By default it runs candidates on the
   ``compiled`` backend (generated Python/NumPy source, orders of magnitude
@@ -11,10 +16,17 @@ Two evaluators are provided:
   can evaluate far larger populations per second and — uniquely among the
   backends — actually rewards ``.parallel()`` directives with wall time.
 
-Both verify the candidate's output against the reference schedule's output
-(Section 5: "we also verify the program output against a correct reference
-schedule"), and both treat any scheduling or lowering error as an invalid
-candidate (fitness = infinity).
+The executing evaluators verify the candidate's output against the reference
+schedule's output (Section 5: "we also verify the program output against a
+correct reference schedule"); the static mode cannot (nothing runs), which is
+fine because lowering legality is checked either way and measured survivors
+are re-verified by the wall-clock stage.
+
+Candidate *rejections* — the documented scheduling errors
+(:class:`ScheduleError`, :class:`VectorizeError`, :class:`UnrollError`) — are
+converted to ``INVALID_FITNESS``.  Anything else escaping lowering or
+execution is a compiler bug (PR 5's fuzzing contract) and is re-raised, never
+silently folded into "invalid candidate".
 """
 
 from __future__ import annotations
@@ -24,6 +36,8 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.compiler.unroll import UnrollError
+from repro.compiler.vectorize import VectorizeError
 from repro.core.pipeline_schedule import Schedule, ScheduleBuilder
 from repro.core.schedule import ScheduleError
 from repro.machine.cost_model import CostModel
@@ -31,9 +45,20 @@ from repro.machine.profiles import MachineProfile, XEON_W3520
 from repro.pipeline import Pipeline
 from repro.runtime.target import Target
 
-__all__ = ["EvaluationResult", "CostModelEvaluator", "WallClockEvaluator", "INVALID_FITNESS"]
+__all__ = [
+    "EvaluationResult",
+    "CostModelEvaluator",
+    "WallClockEvaluator",
+    "INVALID_FITNESS",
+    "REJECTION_ERRORS",
+]
 
 INVALID_FITNESS = float("inf")
+
+#: The only exceptions that mean "this candidate schedule is illegal".
+#: Everything else raised during lowering or execution is an internal error
+#: and must propagate (the autotuner counts those separately).
+REJECTION_ERRORS = (ScheduleError, VectorizeError, UnrollError)
 
 
 class EvaluationResult:
@@ -101,29 +126,53 @@ class _BaseEvaluator:
 class CostModelEvaluator(_BaseEvaluator):
     """Scores candidates by estimated cycles on a machine profile.
 
-    Runs on the interpreter backend by default: the cost model consumes the
-    per-operation event stream, which only the scalar interpreter reports
-    exactly (the NumPy backend batches events).
+    ``mode="static"`` (the default) lowers the candidate and scores the IR
+    with :func:`repro.analysis.static_cost.analyze_lowered` — no execution at
+    all, so one evaluation costs about as much as a compile-cache lookup.
+    ``mode="dynamic"`` runs the interpreter backend and feeds the cost model
+    from the per-operation event stream (only the scalar interpreter reports
+    events exactly; the NumPy backend batches them); it also verifies the
+    candidate's output, which the static mode cannot.
     """
 
     def __init__(self, pipeline: Pipeline, sizes: Sequence[int],
-                 profile: MachineProfile = XEON_W3520, **kwargs):
+                 profile: MachineProfile = XEON_W3520,
+                 mode: str = "static", **kwargs):
         kwargs.setdefault("backend", "interp")
         super().__init__(pipeline, sizes, **kwargs)
+        if mode not in ("static", "dynamic"):
+            raise ValueError(f"unknown cost-model mode {mode!r}; "
+                             "expected 'static' or 'dynamic'")
         self.profile = profile
+        self.mode = mode
+
+    def _evaluate_static(self, schedules) -> EvaluationResult:
+        from repro.analysis.static_cost import analyze_lowered
+
+        compiled = self.pipeline.compile(
+            self.sizes, target=self.target,
+            **self._schedule_kwargs(schedules))
+        report = analyze_lowered(compiled.lowered, self.profile,
+                                 sizes=self.sizes, params=self.params)
+        return EvaluationResult(report.cycles, True)
+
+    def _evaluate_dynamic(self, schedules) -> EvaluationResult:
+        model = CostModel(self.profile)
+        output = self.pipeline.realize(
+            self.sizes, listeners=[model],
+            params=self.params, inputs=self.inputs, target=self.target,
+            **self._schedule_kwargs(schedules),
+        )
+        if not self._check(output):
+            return EvaluationResult(INVALID_FITNESS, False, "output mismatch")
+        return EvaluationResult(model.report().cycles, True)
 
     def evaluate_schedules(self, schedules) -> EvaluationResult:
         try:
-            model = CostModel(self.profile)
-            output = self.pipeline.realize(
-                self.sizes, listeners=[model],
-                params=self.params, inputs=self.inputs, target=self.target,
-                **self._schedule_kwargs(schedules),
-            )
-            if not self._check(output):
-                return EvaluationResult(INVALID_FITNESS, False, "output mismatch")
-            return EvaluationResult(model.report().cycles, True)
-        except (ScheduleError, RuntimeError, ValueError, KeyError, IndexError) as error:
+            if self.mode == "static":
+                return self._evaluate_static(schedules)
+            return self._evaluate_dynamic(schedules)
+        except REJECTION_ERRORS as error:
             return EvaluationResult(INVALID_FITNESS, False, str(error))
 
 
@@ -158,5 +207,5 @@ class WallClockEvaluator(_BaseEvaluator):
             if not self._check(output):
                 return EvaluationResult(INVALID_FITNESS, False, "output mismatch")
             return EvaluationResult(float(np.median(times)), True)
-        except (ScheduleError, RuntimeError, ValueError, KeyError, IndexError) as error:
+        except REJECTION_ERRORS as error:
             return EvaluationResult(INVALID_FITNESS, False, str(error))

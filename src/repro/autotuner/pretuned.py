@@ -1,0 +1,131 @@
+"""Shipped pre-tuned schedules for the seven paper applications.
+
+Tuning-db records produced by a search are keyed by the *structural* pipeline
+fingerprint, which includes every constant in the definitions — and boundary
+clamps bake the input image's extents in, so those records are specific to an
+input shape (exactly what a serving deployment wants).  Shipped defaults need
+the opposite: "the expert schedule for blur, whatever the image size".  They
+therefore live in the same database under a reserved per-app namespace
+(``fingerprint = "app:<name>"``, any sizes, any target) and are consulted by
+name via :func:`pretuned_schedule`.
+
+Each default is the app's curated ``"tuned"`` named schedule — the same one
+the correctness tests and figure benchmarks exercise — recorded with
+``fitness_kind="pretuned"``, the lowest-trust kind, so the first real tuning
+run of a concrete (pipeline, sizes, target) outranks it.
+
+Run ``python -m repro.autotuner.pretuned [directory]`` to populate a database
+(defaults to ``$REPRO_TUNE_DB``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autotuner.tuning_db import TuningDatabase, TuningRecord
+
+__all__ = [
+    "PRETUNED_APPS",
+    "install_pretuned_defaults",
+    "pretuned_schedule",
+]
+
+#: app name -> which named schedule ships as the default.
+PRETUNED_APPS: Dict[str, str] = {
+    "blur": "tuned",
+    "unsharp": "tuned",
+    "histogram_equalize": "tuned",
+    "bilateral_grid": "tuned",
+    "camera_pipe": "tuned",
+    "interpolate": "tuned",
+    "local_laplacian": "tuned",
+}
+
+
+def _build_app(name: str):
+    """Construct an app instance with a small synthetic input.
+
+    Only the named Schedule values are read off the instance — nothing is
+    lowered or executed — so the dummy input's shape is irrelevant.
+    """
+    import repro.apps as apps
+
+    rng = np.random.default_rng(0)
+    gray = rng.random((32, 24)).astype(np.float32)
+    if name == "blur":
+        return apps.make_blur(gray)
+    if name == "unsharp":
+        return apps.make_unsharp(gray)
+    if name == "histogram_equalize":
+        return apps.make_histogram_equalize(gray)
+    if name == "bilateral_grid":
+        return apps.make_bilateral_grid(gray, s_sigma=8, r_sigma=0.2)
+    if name == "camera_pipe":
+        return apps.make_camera_pipe(gray)
+    if name == "interpolate":
+        rgba = rng.random((32, 24, 4)).astype(np.float32)
+        return apps.make_interpolate(rgba, levels=3)
+    if name == "local_laplacian":
+        return apps.make_local_laplacian(gray, levels=3, intensity_levels=4)
+    raise KeyError(f"unknown app {name!r}")
+
+
+def _app_key(name: str):
+    return f"app:{name}", [], "*"
+
+
+def install_pretuned_defaults(db: TuningDatabase,
+                              apps: Optional[List[str]] = None) -> List[str]:
+    """Record the shipped default schedule for each app; returns app names
+    actually written (an existing, better record is left alone)."""
+    written: List[str] = []
+    for name in (apps if apps is not None else sorted(PRETUNED_APPS)):
+        schedule_name = PRETUNED_APPS[name]
+        app = _build_app(name)
+        schedule = app.named_schedule(schedule_name)
+        fingerprint, sizes, target = _app_key(name)
+        stored = db.record(TuningRecord(
+            fingerprint=fingerprint, sizes=sizes, target=target,
+            schedule=schedule.to_dict(),
+            # Unmeasured: any real tuning result outranks a shipped default.
+            fitness=float("inf"), fitness_kind="pretuned",
+            note=f"shipped default: named schedule {schedule_name!r}",
+        ))
+        if stored:
+            written.append(name)
+    return written
+
+
+def pretuned_schedule(db: TuningDatabase, app_name: str):
+    """The shipped default Schedule for ``app_name``, or None."""
+    fingerprint, sizes, target = _app_key(app_name)
+    record = db.lookup(fingerprint, sizes, target)
+    return None if record is None else record.to_schedule()
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    from repro.autotuner.tuning_db import default_tuning_db
+
+    parser = argparse.ArgumentParser(
+        description="Install the shipped pre-tuned app schedules into a tuning database.")
+    parser.add_argument("directory", nargs="?", default=None,
+                        help="database directory (default: $REPRO_TUNE_DB)")
+    options = parser.parse_args(argv)
+    if options.directory is not None:
+        db: Optional[TuningDatabase] = TuningDatabase(options.directory)
+    else:
+        db = default_tuning_db()
+    if db is None:
+        parser.error("no directory given and REPRO_TUNE_DB is not set")
+    written = install_pretuned_defaults(db)
+    print(f"installed {len(written)} pre-tuned defaults into {db.directory}: "
+          f"{', '.join(written) if written else '(all already present)'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

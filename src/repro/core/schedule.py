@@ -90,25 +90,6 @@ class FuncSchedule:
     def is_split(self, var: str) -> bool:
         return self.split_children(var) is not None
 
-    def total_split_factor(self, storage_dim: str) -> int:
-        """Product of split factors applied along the *outer* chain of one
-        storage dimension.
-
-        Note this is NOT sufficient to size allocations when an *inner* split
-        dimension is re-split (the rounded traversal then covers more than
-        any multiple of a single factor); use :meth:`rounded_extent` /
-        :meth:`split_padding` for allocation sizing.
-        """
-        factor = 1
-        frontier = [storage_dim]
-        while frontier:
-            name = frontier.pop()
-            split = self.split_children(name)
-            if split is not None:
-                factor *= split.factor
-                frontier.append(split.outer)
-        return factor
-
     def rounded_extent(self, storage_dim: str, extent: int) -> int:
         """Contiguous elements the rounded-up traversal of the loops derived
         from ``storage_dim`` may touch, given a requested extent.

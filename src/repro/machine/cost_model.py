@@ -181,20 +181,37 @@ def estimate_cost(pipeline, sizes: Sequence[int],
                   schedules=None, options=None,
                   profile: Optional[MachineProfile] = None,
                   params=None, inputs=None,
-                  schedule=None, target=None) -> CostReport:
-    """Run ``pipeline`` at ``sizes`` under the cost model and return the report.
+                  schedule=None, target=None,
+                  mode: str = "dynamic") -> CostReport:
+    """Estimate ``pipeline``'s cost at ``sizes`` and return the report.
 
     ``pipeline`` is a :class:`repro.pipeline.Pipeline` (or an output Func,
     which is wrapped).  ``schedule`` optionally applies a first-class
     :class:`~repro.core.Schedule` non-destructively; ``target`` (a
     :class:`~repro.runtime.Target`) selects the modeled machine via its
     ``profile``/``vector_width``/``threads`` fields when ``profile`` is not
-    given explicitly.  This is the evaluation function used by the autotuner
-    and the Figure 7/8 benchmarks.
+    given explicitly.
+
+    ``mode="dynamic"`` (the default here) runs the pipeline on the
+    interpreter and charges per-operation events — exact but slow.
+    ``mode="static"`` delegates to
+    :func:`repro.analysis.static_cost.estimate_cost_static`, which scores the
+    lowered IR without executing anything (same op/load/store counts,
+    orders of magnitude faster); it ignores ``inputs`` since nothing runs.
     """
     from repro.pipeline import Pipeline
     from repro.runtime.target import Target
 
+    if mode == "static":
+        from repro.analysis.static_cost import estimate_cost_static
+
+        return estimate_cost_static(pipeline, sizes, schedule=schedule,
+                                    schedules=schedules, options=options,
+                                    params=params, profile=profile,
+                                    target=target)
+    if mode != "dynamic":
+        raise ValueError(f"unknown cost-model mode {mode!r}; "
+                         "expected 'static' or 'dynamic'")
     if not isinstance(pipeline, Pipeline):
         pipeline = Pipeline(pipeline)
     if profile is None:

@@ -1,7 +1,12 @@
 """Pipeline statistics (Figure 6) and schedule trade-off metrics (Figure 3)."""
 
 from repro.metrics.pipeline_stats import PipelineStats, analyze_pipeline
-from repro.metrics.tradeoff import TradeoffMetrics, TradeoffReport, measure_tradeoffs
+from repro.metrics.tradeoff import (
+    TradeoffMetrics,
+    TradeoffReport,
+    measure_tradeoffs,
+    static_total_ops,
+)
 
 __all__ = [
     "PipelineStats",
@@ -9,4 +14,5 @@ __all__ = [
     "TradeoffMetrics",
     "TradeoffReport",
     "measure_tradeoffs",
+    "static_total_ops",
 ]

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.runtime.counters import ExecutionListener
 
-__all__ = ["TradeoffMetrics", "TradeoffReport", "measure_tradeoffs"]
+__all__ = ["TradeoffMetrics", "TradeoffReport", "measure_tradeoffs",
+           "static_total_ops"]
 
 
 @dataclass
@@ -155,3 +156,21 @@ def measure_tradeoffs(pipeline, sizes: Sequence[int], schedules=None, options=No
     if baseline_ops:
         report.work_amplification = report.total_ops / baseline_ops
     return report
+
+
+def static_total_ops(pipeline, sizes: Sequence[int], schedules=None, options=None,
+                     params=None, schedule=None) -> int:
+    """The exact operation count of a (pipeline, schedule) pair — statically.
+
+    The work-amplification column of Figure 3 only needs ``total_ops``, and
+    the static IR cost model counts exactly what :class:`TradeoffMetrics`
+    accumulates from the interpreter's ``on_arith`` events — so amplification
+    sweeps over many candidate schedules can skip interpretation entirely.
+    Span and reuse distance still require the event stream: use
+    :func:`measure_tradeoffs` for the full report.
+    """
+    from repro.analysis.static_cost import estimate_cost_static
+
+    return estimate_cost_static(pipeline, sizes, schedules=schedules,
+                                schedule=schedule, options=options,
+                                params=params).ops

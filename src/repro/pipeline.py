@@ -49,7 +49,9 @@ CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 #: lowerings this Pipeline has performed — a warm start that restores every
 #: program from disk shows ``lowerings == 0``.
 DiskCacheInfo = namedtuple(
-    "DiskCacheInfo", ["hits", "misses", "errors", "stores", "lowerings"])
+    "DiskCacheInfo",
+    ["hits", "misses", "errors", "stores", "lowerings", "evictions"],
+    defaults=(0,))
 
 
 class _RestoredLowering:
@@ -605,9 +607,9 @@ class Pipeline:
         """
         disk = self._resolve_disk_cache()
         if disk is None:
-            return DiskCacheInfo(0, 0, 0, 0, self._lowerings)
+            return DiskCacheInfo(0, 0, 0, 0, self._lowerings, 0)
         return DiskCacheInfo(disk.hits, disk.misses, disk.errors, disk.stores,
-                             self._lowerings)
+                             self._lowerings, disk.evictions)
 
     def cache_clear(self) -> None:
         """Drop all cached compilations (counters reset too)."""

@@ -18,6 +18,11 @@ Design constraints, in order:
 * **Concurrent-writer safe**: stores write to a temp file in the same
   directory and ``os.replace`` it into place — readers see either the old
   or the new complete entry, and the last writer wins.
+* **Bounded**: the directory is capped at ``REPRO_CACHE_MAX_BYTES``
+  (default 256 MiB; ``0`` disables the bound).  When a store pushes the
+  total over the cap, the least-recently-used entries — by mtime, which
+  loads refresh — are evicted until it fits.  A long-lived deployment that
+  compiles many (schedule, sizes) variants therefore cannot fill the disk.
 
 The default cache directory comes from the ``REPRO_CACHE_DIR`` environment
 variable (unset ⇒ persistence disabled); tests and the serving demo pass an
@@ -33,17 +38,37 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["PersistentCache", "CACHE_DIR_ENV_VAR", "default_cache_dir"]
+__all__ = ["PersistentCache", "CACHE_DIR_ENV_VAR", "CACHE_MAX_BYTES_ENV_VAR",
+           "DEFAULT_MAX_BYTES", "default_cache_dir", "default_max_bytes"]
 
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+CACHE_MAX_BYTES_ENV_VAR = "REPRO_CACHE_MAX_BYTES"
 
 #: Bump when the payload layout changes; old entries then read as misses.
 FORMAT_VERSION = 1
+
+#: Default size bound for the cache directory (256 MiB).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 
 def default_cache_dir() -> Optional[str]:
     """The ``REPRO_CACHE_DIR`` directory, or None when persistence is off."""
     return os.environ.get(CACHE_DIR_ENV_VAR) or None
+
+
+def default_max_bytes() -> int:
+    """The size bound from ``REPRO_CACHE_MAX_BYTES`` (0 ⇒ unbounded).
+
+    An unparsable value falls back to the default: misconfiguration must
+    degrade to the safe bound, never to an unbounded cache or a crash.
+    """
+    raw = os.environ.get(CACHE_MAX_BYTES_ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_MAX_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_MAX_BYTES
 
 
 class PersistentCache:
@@ -56,12 +81,16 @@ class PersistentCache:
     the entry and compared on load, so collisions cannot alias.
     """
 
-    def __init__(self, directory):
+    def __init__(self, directory, max_bytes: Optional[int] = None):
         self.directory = Path(directory)
+        #: Total-size cap in bytes; 0 disables eviction.  Defaults to
+        #: ``REPRO_CACHE_MAX_BYTES`` (itself defaulting to 256 MiB).
+        self.max_bytes = default_max_bytes() if max_bytes is None else max(0, int(max_bytes))
         self.hits = 0
         self.misses = 0
         self.errors = 0
         self.stores = 0
+        self.evictions = 0
 
     def _path(self, key_str: str) -> Path:
         digest = hashlib.sha256(key_str.encode("utf-8")).hexdigest()
@@ -89,6 +118,12 @@ class PersistentCache:
             self.errors += 1
             return None
         self.hits += 1
+        # Refresh the entry's mtime so eviction is least-recently-*used*,
+        # not least-recently-written (best effort; read-only dirs are fine).
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return payload
 
     def store(self, key_str: str, payload: dict) -> None:
@@ -118,8 +153,46 @@ class PersistentCache:
         except OSError:
             return
         self.stores += 1
+        self._enforce_limit(keep=path)
+
+    def _enforce_limit(self, keep: Optional[Path] = None) -> None:
+        """Evict least-recently-used entries until the directory fits
+        ``max_bytes``.  The just-stored entry (``keep``) is never evicted —
+        a single entry larger than the bound must not thrash.  Best effort:
+        any filesystem race (another process evicting the same file) is
+        ignored."""
+        if not self.max_bytes:
+            return
+        entries = []
+        total = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = self.directory / name
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()  # oldest mtime first
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and path.name == keep.name:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PersistentCache({str(self.directory)!r}, hits={self.hits}, "
                 f"misses={self.misses}, errors={self.errors}, "
-                f"stores={self.stores})")
+                f"stores={self.stores}, evictions={self.evictions})")

@@ -68,8 +68,8 @@ class TestRoundedExtent:
         assert s.rounded_extent("x", 11) == 14
         assert s.rounded_extent("x", 12) == 14
         assert s.rounded_extent("y", 7) == 7          # unsplit dim unchanged
-        # The outer-chain-only factor is what the old code used: too small.
-        assert s.total_split_factor("x") == 2
+        # The outer-chain-only factor (2) is what the old code sized by: too
+        # small — rounded_extent is the single allocation-sizing code path.
 
     def test_outer_chain_matches_legacy_rounding(self):
         s = FuncSchedule(["x"])

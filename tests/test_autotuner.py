@@ -91,6 +91,112 @@ class TestEvaluator:
         result = evaluator.evaluate_schedules(schedules)
         assert result.valid and result.fitness > 0
 
+    def test_static_and_dynamic_modes_agree_on_validity(self, blur_setup):
+        _, _, pipeline, env, _ = blur_setup
+        schedules = breadth_first_genome(env).to_schedules(env, "blur_y")
+        static = CostModelEvaluator(pipeline, [24, 16], profile=SMALL_CACHE_CPU,
+                                    mode="static").evaluate_schedules(schedules)
+        dynamic = CostModelEvaluator(pipeline, [24, 16], profile=SMALL_CACHE_CPU,
+                                     mode="dynamic").evaluate_schedules(schedules)
+        assert static.valid and dynamic.valid
+        assert static.fitness > 0 and dynamic.fitness > 0
+
+    def test_unknown_mode_rejected(self, blur_setup):
+        _, _, pipeline, _, _ = blur_setup
+        with pytest.raises(ValueError, match="mode"):
+            CostModelEvaluator(pipeline, [24, 16], mode="quantum")
+
+
+class TestErrorMaskingRegression:
+    """PR 7's foregrounded bugfix: the evaluators used to catch
+    ``RuntimeError, ValueError, KeyError, IndexError`` wholesale and score the
+    candidate INVALID — silently masking compiler bugs as "invalid schedule".
+    Only documented rejections may be converted; everything else re-raises."""
+
+    def _diamond_pipeline(self):
+        """The PR 5 fuzz-minimized case whose bad compute_at used to crash
+        flatten with an internal RuntimeError before validation was added."""
+        from repro.lang import Buffer, Func, Var, clamp
+
+        rng = np.random.default_rng(60)
+        image = Buffer(rng.random((16, 12)).astype(np.float32), name="in")
+        x, y = Var("x"), Var("y")
+        s0, s1, s2 = Func("s0"), Func("s1"), Func("s2")
+        s0[x, y] = image[clamp(x, 0, 15), clamp(y, 0, 11)] + 1.0
+        s1[x, y] = s0[x, y] * 2.0
+        s2[x, y] = s1[x, y] + s0[x, y]
+        return Pipeline(s2)
+
+    def _bad_schedule(self):
+        from repro.core.pipeline_schedule import Schedule
+
+        return (Schedule()
+                .func("s0").compute_at("s2", "y").store_at("s2", "y")
+                .func("s1").compute_root()
+                .func("s2").compute_root().schedule)
+
+    @pytest.mark.parametrize("mode", ["static", "dynamic"])
+    def test_schedule_that_used_to_crash_flatten_is_a_rejection(self, mode):
+        """The flatten-crasher now surfaces as a ScheduleError, which IS a
+        documented rejection: the evaluator scores it invalid, no raise."""
+        pipeline = self._diamond_pipeline()
+        evaluator = CostModelEvaluator(pipeline, [8, 6], profile=SMALL_CACHE_CPU,
+                                       mode=mode)
+        result = evaluator.evaluate_schedules(self._bad_schedule())
+        assert not result.valid
+        assert result.fitness == float("inf")
+        assert "not nested inside" in result.error
+
+    def test_internal_error_escapes_the_evaluator(self, blur_setup, monkeypatch):
+        """A non-rejection exception during evaluation must propagate."""
+        _, _, pipeline, env, _ = blur_setup
+        evaluator = CostModelEvaluator(pipeline, [24, 16], profile=SMALL_CACHE_CPU)
+
+        def boom(*args, **kwargs):
+            raise KeyError("lost a buffer mid-lowering")
+
+        monkeypatch.setattr(pipeline, "compile", boom)
+        schedule = breadth_first_genome(env).to_schedule(env, "blur_y")
+        with pytest.raises(KeyError, match="lost a buffer"):
+            evaluator.evaluate_schedules(schedule)
+
+    def test_internal_error_escapes_wall_clock_evaluator(self, blur_setup,
+                                                         monkeypatch):
+        from repro.autotuner import WallClockEvaluator
+
+        _, _, pipeline, env, _ = blur_setup
+        evaluator = WallClockEvaluator(pipeline, [24, 16])
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("flatten fell over")
+
+        monkeypatch.setattr(pipeline, "compile", boom)
+        schedule = breadth_first_genome(env).to_schedule(env, "blur_y")
+        with pytest.raises(RuntimeError, match="flatten fell over"):
+            evaluator.evaluate_schedules(schedule)
+
+    def test_tuner_counts_internal_errors_separately(self, blur_setup):
+        """The driver keeps a long search alive but counts and warns —
+        internal errors are never folded into invalid_candidates."""
+        _, _, pipeline, env, _ = blur_setup
+        evaluator = CostModelEvaluator(pipeline, [24, 16], profile=SMALL_CACHE_CPU)
+        real = evaluator.evaluate_schedules
+        calls = {"n": 0}
+
+        def flaky(schedules):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise IndexError("codegen emitted a bad buffer index")
+            return real(schedules)
+
+        evaluator.evaluate_schedules = flaky
+        config = TunerConfig(population_size=6, generations=1, seed=13)
+        tuner = Autotuner(pipeline, evaluator, config)
+        with pytest.warns(RuntimeWarning, match="compiler bug"):
+            result = tuner.run()
+        assert result.internal_errors == 1
+        assert result.best_fitness < float("inf")
+
 
 class TestAutotuner:
     def test_tuner_improves_on_breadth_first(self, blur_setup):

@@ -91,3 +91,27 @@ class TestTradeoffMetrics:
             make_blur(image).apply_schedule("sliding_window").pipeline(),
             [image.shape[0], image.shape[1]])
         assert sliding.peak_footprint_bytes < root.peak_footprint_bytes
+
+
+class TestStaticTotalOps:
+    """`static_total_ops` is the static fast path for the Figure 3
+    work-amplification column: identical to what TradeoffMetrics counts."""
+
+    @pytest.mark.parametrize("strategy", ["breadth_first", "full_fusion",
+                                          "sliding_window", "tiled"])
+    def test_matches_interpreted_count(self, image, strategy):
+        from repro.metrics import static_total_ops
+
+        app = make_blur(image).apply_schedule(strategy)
+        dynamic = measure_tradeoffs(app.pipeline(), app.default_size)
+        assert static_total_ops(app.pipeline(), app.default_size) == dynamic.total_ops
+
+    def test_work_amplification_from_static_counts(self, image):
+        from repro.metrics import static_total_ops
+
+        size = [image.shape[0], image.shape[1]]
+        baseline = static_total_ops(
+            make_blur(image).apply_schedule("breadth_first").pipeline(), size)
+        fused = static_total_ops(
+            make_blur(image).apply_schedule("full_fusion").pipeline(), size)
+        assert fused / baseline > 1.3

@@ -20,6 +20,7 @@ anything runs).
 from __future__ import annotations
 
 import json
+import os
 import threading
 
 import numpy as np
@@ -341,3 +342,73 @@ class TestRealizeBatch:
         serial = [compiled.run(inputs=item) for item in batch]
         for got, want in zip(compiled.realize_batch(batch), serial):
             assert got.tobytes() == want.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# size bound + LRU eviction (REPRO_CACHE_MAX_BYTES)
+# ---------------------------------------------------------------------------
+
+class TestEviction:
+    def _store_entry(self, cache, key, kilobytes, mtime=None):
+        cache.store(key, {"source": "x" * (kilobytes * 1024)})
+        path = cache._path(key)
+        if mtime is not None:
+            os.utime(path, (mtime, mtime))
+        return path
+
+    def test_oldest_entries_evicted_on_store(self, tmp_path):
+        cache = PersistentCache(tmp_path, max_bytes=8 * 1024)
+        self._store_entry(cache, "old", 3, mtime=1_000)
+        self._store_entry(cache, "mid", 3, mtime=2_000)
+        # This store pushes the total over 8 KiB: "old" must go first.
+        self._store_entry(cache, "new", 3)
+        assert cache.evictions == 1
+        assert cache.load("old") is None
+        assert cache.load("mid") is not None
+        assert cache.load("new") is not None
+
+    def test_just_stored_entry_is_never_evicted(self, tmp_path):
+        """One entry larger than the bound must not thrash: it stays."""
+        cache = PersistentCache(tmp_path, max_bytes=1 * 1024)
+        self._store_entry(cache, "huge", 4)
+        assert cache.load("huge") is not None
+        assert cache.evictions == 0
+
+    def test_load_refreshes_recency(self, tmp_path):
+        cache = PersistentCache(tmp_path, max_bytes=8 * 1024)
+        self._store_entry(cache, "a", 3, mtime=1_000)
+        self._store_entry(cache, "b", 3, mtime=2_000)
+        assert cache.load("a") is not None   # touch "a": now newer than "b"
+        self._store_entry(cache, "c", 3)
+        assert cache.evictions == 1
+        assert cache.load("a") is not None
+        assert cache.load("b") is None
+
+    def test_zero_disables_the_bound(self, tmp_path):
+        cache = PersistentCache(tmp_path, max_bytes=0)
+        for index in range(6):
+            self._store_entry(cache, f"k{index}", 4)
+        assert cache.evictions == 0
+        assert len(list(tmp_path.glob("*.json"))) == 6
+
+    def test_default_bound_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", str(8 * 1024))
+        cache = PersistentCache(tmp_path)
+        assert cache.max_bytes == 8 * 1024
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "not-a-number")
+        from repro.runtime.disk_cache import DEFAULT_MAX_BYTES
+        assert PersistentCache(tmp_path).max_bytes == DEFAULT_MAX_BYTES
+
+    def test_evictions_surface_in_pipeline_info(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1")
+        # Compile twice under different schedules: the second store must
+        # evict the first entry (bound of 1 byte) and the counter shows it.
+        output, img = _make_algorithm()
+        img.set(Buffer(_input_image(), name="serve_in"))
+        pipeline = Pipeline(output, disk_cache=tmp_path)
+        pipeline.compile(SIZES, schedule=SCHEDULE, target="compiled")
+        other = Schedule().func("serve_f").compute_inline().schedule
+        pipeline.compile(SIZES, schedule=other, target="compiled")
+        info = pipeline.disk_cache_info()
+        assert info.evictions >= 1
+        assert info.stores == 2

@@ -43,7 +43,7 @@ class TestSplit:
         schedule = make_schedule()
         schedule.split("x", "xo", "xi", 8)
         schedule.split("xo", "xoo", "xoi", 4)
-        assert schedule.total_split_factor("x") == 32
+        assert schedule.rounded_extent("x", 1) == 32
         assert schedule.root_of("xoo") == "x"
         assert schedule.root_of("xi") == "x"
 
