@@ -1,0 +1,188 @@
+"""Streaming benchmark: frames/sec and peak intermediate memory per backend.
+
+The claim under test is the paper's locality/parallelism trade (Section 4.3)
+applied along *time*: a streaming schedule with ``store_root`` +
+``compute_at(out, t)`` and a storage fold keeps peak intermediate memory
+bounded by the temporal window — independent of how many frames pass
+through — while the breadth-first schedule holds whole per-chunk volumes.
+
+Each row streams the same frame sequence through
+:func:`repro.streaming.realize_stream` for one (backend, schedule, window)
+combination, recording:
+
+* ``frames_per_sec`` — wall-clock streaming throughput;
+* ``peak_intermediate_bytes`` — measured through the runtime memory
+  counters (exact on interp/numpy, which drive the execution listeners;
+  ``None`` on the uninstrumented compiled backend);
+* ``static_peak_bytes`` — the lowering-time worst case from
+  :func:`repro.streaming.static_peak_bytes`, valid on every backend (and
+  asserted equal to the measured peak wherever both exist);
+* ``peak_by_buffer`` — the per-Func breakdown.
+
+Output is **bit-identical** to the scalar reference for every row —
+asserted, not recorded.
+
+The artifact is written to ``BENCH_streaming.json`` in the repository root;
+CI uploads it per PR, and the in-tree snapshot is refreshed by re-running
+this script locally and committing the result.
+
+Run with:  python benchmarks/bench_streaming.py [--quick] [--out BENCH_streaming.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.apps import make_video  # noqa: E402
+from repro.reference import video_ref  # noqa: E402
+from repro.runtime.target import Target  # noqa: E402
+from repro.streaming import StreamStats, realize_stream, static_peak_bytes  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_streaming.json"
+
+#: (width, height, chunk, frame count) per profile.  "full" is sized so the
+#: interpreter rows (the slowest backend by orders of magnitude) finish in
+#: minutes; the memory claims are size-independent.
+PROFILES = {
+    "full": ((48, 32, 8, 64)),
+    "quick": ((24, 16, 4, 24)),
+}
+
+#: Temporal window sizes to sweep (history frames per output frame).
+WINDOWS = (1, 2, 4)
+
+SCHEDULES = ("breadth_first", "streaming", "streaming_folded")
+
+
+def backend_targets(threads):
+    return {
+        "interp": Target("interp"),
+        "numpy": Target("numpy"),
+        "compiled": Target("compiled"),
+        "compiled-pipelined": Target("compiled", threads=threads),
+    }
+
+
+def stream_once(compiled, frames, depth=None):
+    stats = StreamStats()
+    started = time.perf_counter()
+    out = list(realize_stream(compiled, frames, stats=stats,
+                              pipeline_depth=depth))
+    elapsed = time.perf_counter() - started
+    return np.stack(out, axis=2), stats, elapsed
+
+
+def measure(backend, target, schedule, window, shape, n_frames, frames):
+    width, height, chunk = shape
+    app = make_video(width, height, chunk=chunk, window=window)
+    compiled = app.compile(schedule, target=target)
+    instrumented = target.backend in ("interp", "numpy")
+
+    # Warm-up outside the timed region (compile caches, worker pools).
+    stream_once(compiled, frames[:, :, :chunk])
+    output, stats, elapsed = stream_once(compiled, frames)
+
+    expected = video_ref(frames, window)
+    assert output.tobytes() == expected.tobytes(), \
+        f"{backend}/{schedule}/window={window}: output differs from reference"
+
+    static_peak, _ = static_peak_bytes(compiled.lowered)
+    if instrumented and static_peak is not None:
+        assert static_peak == stats.peak_intermediate_bytes, \
+            (f"{backend}/{schedule}/window={window}: static peak "
+             f"{static_peak} != measured {stats.peak_intermediate_bytes}")
+
+    return {
+        "backend": backend,
+        "schedule": schedule,
+        "window": window,
+        "chunk": chunk,
+        "frames": n_frames,
+        "pipeline_depth": stats.pipeline_depth,
+        "frames_per_sec": n_frames / max(elapsed, 1e-9),
+        "peak_intermediate_bytes": (stats.peak_intermediate_bytes
+                                    if instrumented else None),
+        "static_peak_bytes": static_peak,
+        "peak_by_buffer": dict(sorted(stats.peak_by_buffer.items())),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes for CI smoke runs")
+    parser.add_argument("--profile", choices=tuple(PROFILES), default=None,
+                        help="explicit profile (overrides --quick)")
+    parser.add_argument("--threads", type=int, default=2,
+                        help="worker count for the pipelined compiled row")
+    args = parser.parse_args(argv)
+    profile = args.profile or ("quick" if args.quick else "full")
+    width, height, chunk, n_frames = PROFILES[profile]
+    shape = (width, height, chunk)
+
+    rng = np.random.default_rng(20130616)
+    frames = (rng.random((width, height, n_frames)) * 4.0).astype(np.float32)
+
+    rows = []
+    for window in WINDOWS:
+        for backend, target in backend_targets(args.threads).items():
+            for schedule in SCHEDULES:
+                row = measure(backend, target, schedule, window, shape,
+                              n_frames, frames)
+                rows.append(row)
+                peak = row["peak_intermediate_bytes"]
+                peak_text = f"{peak:>8d} B" if peak is not None else \
+                    f"{row['static_peak_bytes']:>8d}*B"
+                print(f"window={window}  {backend:>18}  {schedule:<16} "
+                      f"{row['frames_per_sec']:9.1f} f/s  peak {peak_text}",
+                      flush=True)
+
+    # The headline property, asserted over the artifact itself: for every
+    # instrumented backend and window, the folded streaming schedule's peak
+    # is constant in the window (ring of window+1 planes) and strictly
+    # below breadth-first's chunk-sized volumes.
+    plane = width * height * np.dtype(np.float32).itemsize
+    for window in WINDOWS:
+        for backend in ("interp", "numpy"):
+            by_sched = {r["schedule"]: r for r in rows
+                        if r["backend"] == backend and r["window"] == window}
+            folded = by_sched["streaming_folded"]
+            assert folded["peak_by_buffer"]["denoise_xy"] == \
+                (window + 1) * plane, folded
+            assert folded["peak_intermediate_bytes"] < \
+                by_sched["breadth_first"]["peak_intermediate_bytes"], by_sched
+
+    artifact = {
+        "benchmark": "streaming_throughput_memory",
+        "profile": profile,
+        "frame_shape": [width, height],
+        "chunk": chunk,
+        "frames": n_frames,
+        "windows": list(WINDOWS),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ from repro.apps.bilateral_grid import make_bilateral_grid, BILATERAL_GRID_SCHEDU
 from repro.apps.camera_pipe import make_camera_pipe
 from repro.apps.interpolate import make_interpolate
 from repro.apps.local_laplacian import make_local_laplacian
+from repro.apps.video import make_video, video_schedules
 
 __all__ = [
     "AppPipeline",
@@ -33,4 +34,6 @@ __all__ = [
     "make_camera_pipe",
     "make_interpolate",
     "make_local_laplacian",
+    "make_video",
+    "video_schedules",
 ]

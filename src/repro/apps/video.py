@@ -1,0 +1,112 @@
+"""Streaming video pipeline: spatial denoise + temporal average + tonemap.
+
+The first app with a scheduled *time* dimension.  The input is a rolling
+buffer of ``chunk + window`` frames (``window`` frames of temporal history in
+front of each chunk — the layout :func:`repro.streaming.realize_stream`
+advances); the output is ``chunk`` frames:
+
+    denoise_xy(x, y, t) = 5-point spatial cross average        (per frame)
+    denoise_t(x, y, t)  = mean of denoise_xy over t .. t+window (temporal)
+    tonemap(x, y, t)    = Reinhard curve d / (1 + d)
+
+Under the streaming schedules ``denoise_xy`` is stored at root but computed
+per time step, so the sliding-window pass computes each frame's spatial
+denoise exactly once and storage folding keeps only a temporal-window-sized
+ring of planes live — the bounded-memory machinery of Section 4.3 applied
+along time instead of scanlines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.common import AppPipeline
+from repro.core.pipeline_schedule import Schedule
+from repro.lang import Buffer, Func, Var, repeat_edge
+
+__all__ = ["make_video", "video_schedules", "DEFAULT_WINDOW"]
+
+#: Temporal window of the denoiser: each output frame averages this many
+#: *previous* frames plus the current one.
+DEFAULT_WINDOW = 2
+
+
+def video_schedules(window: int = DEFAULT_WINDOW) -> Dict[str, Schedule]:
+    """The named schedule family of the video app.
+
+    ``streaming`` relies on the automatic storage-folding pass (fold rounded
+    to a power of two); ``streaming_folded`` forces the exact minimal ring of
+    ``window + 1`` planes through an explicit ``storage_fold`` directive —
+    the directive whose legality lowering validates (an undersized factor or
+    an unbounded window raises ``ScheduleError``).
+    """
+    def temporal(s: Schedule) -> Schedule:
+        return (s
+                .func("tonemap").reorder("x", "y", "t")
+                .func("denoise_t").compute_at("tonemap", "t")
+                .func("denoise_xy").store_root().compute_at("tonemap", "t")
+                .schedule)
+
+    return {
+        # Every stage fully evaluated before the next: peak memory carries
+        # whole per-stage volumes (O(chunk) frames of intermediates).
+        "breadth_first": (Schedule()
+                          .func("denoise_xy").compute_root()
+                          .func("denoise_t").compute_root()
+                          .schedule),
+        # Time-outermost + store_root/compute_at(t): sliding window along t,
+        # storage automatically folded to a power-of-two ring.
+        "streaming": temporal(Schedule()),
+        # Same, with the ring forced to exactly window+1 planes.
+        "streaming_folded": temporal(
+            Schedule().func("denoise_xy").storage_fold("t", window + 1)),
+        # Same ring, spatial parallelism inside each time step (the t loop
+        # itself must stay serial — that is what the fold trades away).
+        "streaming_parallel": temporal(
+            Schedule().func("denoise_xy").storage_fold("t", window + 1)
+            .func("tonemap").parallel("y")),
+    }
+
+
+def make_video(width: int = 32, height: int = 24, chunk: int = 8,
+               window: int = DEFAULT_WINDOW, name: str = "video") -> AppPipeline:
+    """Build the video pipeline for ``chunk``-frame runs with ``window`` history.
+
+    The input buffer ``frames`` holds ``chunk + window`` frames and is a
+    zero-filled placeholder: real frame data is bound per run (``inputs=``)
+    by :func:`repro.streaming.realize_stream`, which carries the last
+    ``window`` frames of each chunk into the front of the next.
+    """
+    if chunk < 1 or window < 0:
+        raise ValueError("chunk must be >= 1 and window >= 0")
+    placeholder = np.zeros((width, height, chunk + window), dtype=np.float32)
+    frames = Buffer(placeholder, name="frames")
+    clamped = repeat_edge(frames, name="frames_clamped")
+
+    x, y, t = Var("x"), Var("y"), Var("t")
+    denoise_xy = Func("denoise_xy")
+    denoise_t = Func("denoise_t")
+    tonemap = Func("tonemap")
+
+    denoise_xy[x, y, t] = (clamped[x - 1, y, t] + clamped[x, y, t]
+                           + clamped[x + 1, y, t] + clamped[x, y - 1, t]
+                           + clamped[x, y + 1, t]) / 5.0
+    # Output frame t sits at buffer time t + window; averaging buffer times
+    # t .. t + window therefore reaches `window` frames into the past.
+    acc = denoise_xy[x, y, t]
+    for dt in range(1, window + 1):
+        acc = acc + denoise_xy[x, y, t + dt]
+    denoise_t[x, y, t] = acc / float(window + 1)
+    tonemap[x, y, t] = denoise_t[x, y, t] / (1.0 + denoise_t[x, y, t])
+
+    return AppPipeline(
+        name=name,
+        output=tonemap,
+        funcs={"frames_clamped": clamped, "denoise_xy": denoise_xy,
+               "denoise_t": denoise_t, "tonemap": tonemap},
+        algorithm_lines=3,
+        schedules=video_schedules(window),
+        default_size=[width, height, chunk],
+    )

@@ -165,9 +165,11 @@ def fuzz_gene(func: Function, env: Dict[str, Function],
     tuner rarely visits but the compiler must still get right: storage-dim
     reorders (applied first, before any split renames dimensions), splits
     with ``GUARD_WITH_IF`` tails (exercising the backends' guarded scalar
-    paths), and odd split factors (3, 5, 6, 7) alongside the tuner's powers
-    of two — tails that don't divide the extent are where bounds handling
-    breaks.
+    paths), odd split factors (3, 5, 6, 7) alongside the tuner's powers of
+    two — tails that don't divide the extent are where bounds handling
+    breaks — and explicit ``storage_fold`` directives (most likely on the
+    sliding ``at_store`` shape), so the folding/sliding passes and their
+    legality rejections run inside the differential oracle's path.
     """
     gene = random_gene(func, env, consumers, rng, gpu=False)
     ops = list(gene.domain_ops)
@@ -184,6 +186,24 @@ def fuzz_gene(func: Function, env: Dict[str, Function],
             else:
                 op = ("split", op[1], factor)
         widened.append(op)
+    kind = gene.call_schedule[0]
+    fold_p = 0.5 if kind == "at_store" else 0.08 if kind in ("at", "root") else 0.0
+    if func.args and rng.random() < fold_p:
+        # The dimension that can legally fold is the one marching with the
+        # consumer's serial loop — for the at_store sliding shape, usually the
+        # storage dim named like the compute var.  Aim there most of the time
+        # (legal folds reach the oracle); sometimes aim randomly (the
+        # ScheduleError rejection paths deserve coverage too).
+        dims = list(func.args)
+        dim = rng.choice(dims)
+        if kind == "at_store" and rng.random() < 0.8:
+            compute_var = gene.call_schedule[3]
+            base = compute_var.split("_")[0]
+            if base in dims:
+                dim = base
+        # Inserted at the front so MAX_DOMAIN_OPS truncation never drops it
+        # (it does not rename dimensions, so order is otherwise irrelevant).
+        widened.insert(0, ("storage_fold", dim, rng.choice((2, 3, 4, 8, 16))))
     return FunctionGene(gene.call_schedule, widened)
 
 
@@ -198,7 +218,56 @@ def fuzz_genome(env: Dict[str, Function], consumers: Dict[str, List[str]],
         if name == output_name:
             gene = FunctionGene(("root",), gene.domain_ops)
         genome.genes[name] = gene
+    if rng.random() < 0.35:
+        _insert_sliding_fold(genome, env, consumers, output_name, rng)
     return genome
+
+
+def _insert_sliding_fold(genome: ScheduleGenome, env: Dict[str, Function],
+                         consumers: Dict[str, List[str]], output_name: str,
+                         rng: random.Random) -> None:
+    """Rewrite one producer/consumer pair into a foldable sliding shape.
+
+    Undirected fold genes (see :func:`fuzz_gene`) almost always hit a
+    legality rejection — a legal fold needs ``store_at`` one loop out, a
+    serial marching consumer loop in between, and a fold factor that covers
+    the stencil window.  To make *legal* folds reach the oracle at a useful
+    rate, this occasionally constructs that exact shape: the producer is
+    stored at the consumer's next-outer loop, computed at the inner one, and
+    folded along the marching dimension; the consumer gene is sanitized so no
+    op renames those loops or parallelizes the marching loop.  Mutates
+    ``genome`` in place; no-op when the pipeline has no suitable pair.
+    """
+    candidates = []
+    for name, func in env.items():
+        if name == output_name or func.schedule is None or func.has_updates():
+            continue
+        for consumer_name in consumers.get(name, []):
+            consumer = env.get(consumer_name)
+            if consumer is None or consumer.schedule is None:
+                continue
+            if len(consumer.args) >= 2:
+                candidates.append((name, consumer_name))
+    if not candidates:
+        return
+    producer_name, consumer_name = rng.choice(candidates)
+    producer, consumer = env[producer_name], env[consumer_name]
+    index = rng.randrange(len(consumer.args) - 1)
+    compute_var = consumer.args[index]
+    store_var = consumer.args[index + 1]
+    fold_dim = compute_var if compute_var in producer.args else rng.choice(producer.args)
+    genome.genes[producer_name] = FunctionGene(
+        ("at_store", consumer_name, store_var, compute_var),
+        [("storage_fold", fold_dim, rng.choice((4, 8, 16)))])
+    consumer_gene = genome.genes.get(consumer_name, FunctionGene(("root",), []))
+    kept = [op for op in consumer_gene.domain_ops
+            if op[0] in ("split", "vectorize", "unroll")
+            and isinstance(op[1], str)
+            and op[1] not in (compute_var, store_var)]
+    call = consumer_gene.call_schedule
+    if consumer_name != output_name and call[0] not in ("root", "at"):
+        call = ("root",)
+    genome.genes[consumer_name] = FunctionGene(call, kept)
 
 
 def random_genome(env: Dict[str, Function], consumers: Dict[str, List[str]],

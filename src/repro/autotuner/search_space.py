@@ -51,6 +51,9 @@ class FunctionGene:
     * ``("reorder", (v0, v1, ...))``
     * ``("parallel", var)`` / ``("vectorize", var, width)`` / ``("unroll", var, n)``
     * ``("gpu_tile", xfactor, yfactor)``
+    * ``("storage_fold", dim, factor)`` — fold the *storage* dimension ``dim``
+      to a ring of ``factor`` entries (legality checked during lowering; an
+      illegal fold raises :class:`~repro.core.schedule.ScheduleError`)
     """
 
     call_schedule: Tuple = ("inline",)
@@ -167,6 +170,15 @@ def _apply_domain_ops(schedule: FuncSchedule, ops: Sequence[Tuple]) -> None:
             else:
                 schedule.split(var, f"{var}_uo", f"{var}_ui", int(count))
                 schedule.unroll(f"{var}_ui")
+        elif kind == "storage_fold":
+            _, var, factor = op
+            # storage_fold addresses a *storage* dimension: splits rename loop
+            # dims but leave storage dims intact, so no _resolve_dim here.
+            if var not in schedule.storage_dims:
+                raise ScheduleError(
+                    f"storage_fold targets storage dimension {var!r}, "
+                    f"not one of {list(schedule.storage_dims)!r}")
+            schedule.storage_folds[var] = int(factor)
         elif kind == "gpu_tile":
             _, xfactor, yfactor = op
             dims = schedule.storage_dims

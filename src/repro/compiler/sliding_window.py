@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.monotonic import Monotonic, is_monotonic
+from repro.compiler.simplify import simplify_expr
 from repro.compiler.substitute import substitute_name
 from repro.core.function import Function
 from repro.ir import expr as E
@@ -120,7 +121,11 @@ class _RewriteComputeLets(IRMutator):
             max_name = f"{self.func.name}.{dim}.max"
             if min_name not in values or max_name not in values:
                 continue
-            old_min, old_max = values[min_name], values[max_name]
+            # Bounds inference emits unsimplified interval arithmetic (e.g.
+            # ``(t + ((t - t) + 1)) - 1``); the monotonic analysis only sees
+            # the linear structure after simplification.
+            old_min = simplify_expr(values[min_name])
+            old_max = simplify_expr(values[max_name])
             if is_monotonic(old_min, self.loop.name) != Monotonic.INCREASING:
                 continue
             if is_monotonic(old_max, self.loop.name) != Monotonic.INCREASING:

@@ -15,7 +15,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.bounds import box_touched
 from repro.analysis.linear import constant_difference
 from repro.analysis.monotonic import Monotonic, is_monotonic
+from repro.compiler.simplify import simplify_expr
 from repro.core.function import Function
+from repro.core.schedule import ScheduleError
 from repro.ir import expr as E
 from repro.ir import op
 from repro.ir import stmt as S
@@ -115,9 +117,71 @@ class _StorageFolder(IRMutator):
         checker = _SerialChainChecker(node.name)
         checker.visit(body)
         bounds = list(node.bounds)
-        if checker.all_serial:
+        forced = dict(getattr(func.schedule, "storage_folds", None) or {})
+        if forced:
+            body, bounds = self._apply_forced_folds(
+                func, forced, body, bounds, checker.all_serial
+            )
+        elif checker.all_serial:
             body, bounds = self._try_fold(func, body, bounds)
         return S.Realize(node.name, node.type, bounds, body)
+
+    def _apply_forced_folds(self, func: Function, forced: Dict[str, int],
+                            body: S.Stmt, bounds: List[Tuple[E.Expr, E.Expr]],
+                            all_serial: bool):
+        """Apply schedule-directed ``storage_fold`` directives, or raise ScheduleError.
+
+        Unlike the automatic path (which silently skips anything it cannot
+        prove safe), an explicit fold is a promise by the schedule author and
+        every legality condition is checked loudly: this is where a schedule
+        that would need unbounded history is rejected.
+        """
+        lets = _find_compute_lets(body, func.name)
+        loop_names = _loop_names_between(body, func.name)
+        for dim, factor in forced.items():
+            what = f"storage_fold({dim!r}, {factor}) on {func.name!r}"
+            if dim not in func.args:
+                raise ScheduleError(
+                    f"{what}: no such dimension (has {list(func.args)!r})")
+            factor = int(factor)
+            if factor < 1:
+                raise ScheduleError(f"{what}: fold factor must be >= 1")
+            if not all_serial:
+                raise ScheduleError(
+                    f"{what}: a parallel loop sits between the storage and the "
+                    f"computation, so folded values could be overwritten while "
+                    f"other iterations still need them")
+            dim_index = func.args.index(dim)
+            min_expr = lets.get(f"{func.name}.{dim}.min")
+            max_expr = lets.get(f"{func.name}.{dim}.max")
+            if min_expr is None or max_expr is None:
+                raise ScheduleError(
+                    f"{what}: the function is not computed inside its storage "
+                    f"scope (inlined, or computed at the same level it is "
+                    f"stored), so there is no window to fold")
+            window = constant_difference(max_expr, min_expr)
+            if window is None or window < 0:
+                raise ScheduleError(
+                    f"{what}: the extent of {dim!r} touched per iteration is "
+                    f"not a constant — the schedule would require unbounded "
+                    f"history to fold this dimension")
+            if int(window) + 1 > factor:
+                raise ScheduleError(
+                    f"{what}: each iteration touches {int(window) + 1} entries "
+                    f"of {dim!r}, which do not fit in a fold of {factor}")
+            marching = any(
+                is_monotonic(simplify_expr(min_expr), loop) == Monotonic.INCREASING
+                for loop in loop_names
+            )
+            if not marching:
+                raise ScheduleError(
+                    f"{what}: the window of {dim!r} does not march "
+                    f"monotonically along an enclosing serial loop, so folding "
+                    f"would overwrite values still needed")
+            body = _AccessRewriter(func.name, dim_index, factor).mutate(body)
+            bounds[dim_index] = (op.const(0), op.const(factor))
+            self.folds.setdefault(func.name, {})[dim] = factor
+        return body, bounds
 
     def _try_fold(self, func: Function, body: S.Stmt,
                   bounds: List[Tuple[E.Expr, E.Expr]]):
@@ -137,7 +201,8 @@ class _StorageFolder(IRMutator):
             # The footprint must march monotonically along some enclosing serial loop;
             # otherwise folding would overwrite values still needed.
             marching = any(
-                is_monotonic(min_expr, loop) == Monotonic.INCREASING for loop in loop_names
+                is_monotonic(simplify_expr(min_expr), loop) == Monotonic.INCREASING
+                for loop in loop_names
             )
             if not marching:
                 continue
@@ -178,4 +243,16 @@ def storage_folding(stmt: S.Stmt, env: Dict[str, Function]) -> Tuple[S.Stmt, Dic
     """Fold storage where legal; returns the new statement and a report of folds applied."""
     folder = _StorageFolder(env)
     result = folder.mutate(stmt)
+    # A forced fold on a function that never materializes storage (inlined,
+    # or the pipeline output whose buffer the caller owns) would silently do
+    # nothing; reject it so schedules stay honest.
+    for name, func in env.items():
+        forced = getattr(func.schedule, "storage_folds", None) or {}
+        applied = folder.folds.get(name, {})
+        missing = [dim for dim in forced if dim not in applied]
+        if missing:
+            raise ScheduleError(
+                f"storage_fold on {name!r} (dims {missing!r}): the function "
+                f"has no storage of its own to fold (it is inlined or is the "
+                f"pipeline output)")
     return result, folder.folds

@@ -208,4 +208,23 @@ def validate_schedules(env: Dict[str, Function], order: Sequence[str],
                     f"{dim.for_type.value} unless the update is associative"
                 )
 
+        for fold_dim in schedule.storage_folds:
+            # Folding needs storage of the function's own: an inlined stage
+            # has none, and the output buffer belongs to the caller.
+            if fold_dim not in func.args:
+                raise ScheduleError(
+                    f"storage_fold on {func.name!r}: no dimension {fold_dim!r} "
+                    f"(its dimensions are {list(func.args)!r})"
+                )
+            if func is output:
+                raise ScheduleError(
+                    f"storage_fold on {func.name!r}: the output buffer is "
+                    f"provided by the caller and cannot be folded"
+                )
+            if schedule.is_inlined():
+                raise ScheduleError(
+                    f"storage_fold on {func.name!r}: the function is inlined "
+                    f"and has no storage to fold"
+                )
+
     _validate_compute_at_enclosure(env)

@@ -53,7 +53,8 @@ CASE_FORMAT_VERSION = 1
 #: Counter-summary keys the oracle requires to match between the interpreter
 #: and the NumPy backend (the memory-traffic subset; see module docstring).
 COMPARED_COUNTERS = ("loads", "stores", "bytes_loaded", "bytes_stored",
-                     "loops_entered", "allocations", "peak_allocated_bytes")
+                     "loops_entered", "allocations", "peak_allocated_bytes",
+                     "peak_allocated_by_buffer")
 
 #: Realization sizes the case generator draws from: deliberately awkward —
 #: single pixels, primes, sizes below/straddling typical split factors, and a

@@ -3,8 +3,9 @@
 Reuses the autotuner's genome machinery
 (:mod:`repro.autotuner.search_space` / :mod:`repro.autotuner.random_schedule`)
 over a widened space (:func:`~repro.autotuner.random_schedule.fuzz_genome`:
-reorders, guarded split tails, non-power-of-two factors) and emits the result
-as a first-class, serializable :class:`~repro.core.Schedule` value.
+reorders, guarded split tails, non-power-of-two factors, ``store_at`` sliding
+shapes and explicit ``storage_fold`` directives) and emits the result as a
+first-class, serializable :class:`~repro.core.Schedule` value.
 
 "Legal" means the schedule materializes onto the pipeline's functions and
 the compiler accepts it through a full symbolic lowering.  Candidates the

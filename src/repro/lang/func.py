@@ -274,6 +274,18 @@ class Func:
         self.schedule.store_root()
         return self
 
+    def storage_fold(self, var, factor: int) -> "Func":
+        """Fold this stage's storage along ``var`` into a ring of ``factor`` entries.
+
+        The factor need not be a power of two, but must cover the widest
+        window any consumer iteration touches; an illegal fold raises
+        :class:`~repro.core.schedule.ScheduleError` during lowering with a
+        diagnostic saying why (parallel consumer loop, non-constant window,
+        non-marching accesses, ...).
+        """
+        self.schedule.storage_folds[self._name_of(var)] = int(factor)
+        return self
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

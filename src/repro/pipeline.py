@@ -258,6 +258,19 @@ class CompiledPipeline:
                 executor.run()
         return [self._finalize(flat) for _, flat in prepared]
 
+    def realize_stream(self, frames, **kwargs):
+        """Stream a frame sequence through this compiled pipeline.
+
+        Yields one output frame per input frame with peak intermediate
+        memory bounded by the compiled chunk + temporal window, not the
+        stream length.  See :func:`repro.streaming.realize_stream` (this is
+        a thin delegate) and ``docs/streaming.md`` for the input-layout
+        convention, temporal scheduling, and the pipelining knobs.
+        """
+        from repro.streaming import realize_stream
+
+        return realize_stream(self, frames, **kwargs)
+
     def _run_batch_threads(self, prepared, workers: int) -> None:
         from repro.codegen.parallel_runtime import get_pool
 

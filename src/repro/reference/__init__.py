@@ -15,6 +15,7 @@ from repro.reference.bilateral_grid_ref import bilateral_grid_ref
 from repro.reference.camera_pipe_ref import camera_pipe_ref
 from repro.reference.interpolate_ref import interpolate_ref
 from repro.reference.local_laplacian_ref import local_laplacian_ref
+from repro.reference.video_ref import video_ref
 
 __all__ = [
     "blur_ref",
@@ -24,4 +25,5 @@ __all__ = [
     "camera_pipe_ref",
     "interpolate_ref",
     "local_laplacian_ref",
+    "video_ref",
 ]

@@ -1,0 +1,34 @@
+"""Reference video denoise + tonemap (matches repro.apps.video exactly)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["video_ref"]
+
+
+def video_ref(frames: np.ndarray, window: int = 2) -> np.ndarray:
+    """Scalar reference for the streaming video pipeline.
+
+    ``frames`` has shape (width, height, n_frames); the result has the same
+    shape — one output frame per input frame.  Temporal boundary condition
+    is repeat-edge in time (the first frame stands in for the missing
+    history), matching ``realize_stream``'s prefill.  Operations replicate
+    the DSL pipeline's float32 arithmetic in the same association order, so
+    the result is bit-identical to every backend.
+    """
+    frames = np.asarray(frames, dtype=np.float32)
+    n = frames.shape[2]
+    # Prepend `window` copies of the first frame: buffer time u = stream
+    # frame u - window.
+    extended = np.concatenate(
+        [np.repeat(frames[:, :, :1], window, axis=2), frames], axis=2)
+    padded = np.pad(extended, ((1, 1), (1, 1), (0, 0)), mode="edge")
+    denoise_xy = (padded[:-2, 1:-1, :] + padded[1:-1, 1:-1, :]
+                  + padded[2:, 1:-1, :] + padded[1:-1, :-2, :]
+                  + padded[1:-1, 2:, :]) / np.float32(5.0)
+    acc = denoise_xy[:, :, 0:n]
+    for dt in range(1, window + 1):
+        acc = acc + denoise_xy[:, :, dt:dt + n]
+    denoise_t = acc / np.float32(window + 1)
+    return denoise_t / (np.float32(1.0) + denoise_t)

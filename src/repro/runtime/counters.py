@@ -56,6 +56,11 @@ class Counters(ExecutionListener):
     loops_entered: int = 0
     allocations: int = 0
     peak_allocated_bytes: int = 0
+    #: Per-buffer peak: the largest allocation each Func's storage ever
+    #: reached.  With storage folding this is the folded size — the number
+    #: that must stay constant as a stream grows, asserted per stage rather
+    #: than inferred from the total.
+    peak_allocated_by_buffer: Dict[str, int] = field(default_factory=dict)
     _live_bytes: int = 0
     _live_sizes: Dict[str, int] = field(default_factory=dict)
     per_stage_ops: Dict[str, int] = field(default_factory=dict)
@@ -92,6 +97,8 @@ class Counters(ExecutionListener):
         self._live_bytes += nbytes
         self._live_sizes[buffer] = nbytes
         self.peak_allocated_bytes = max(self.peak_allocated_bytes, self._live_bytes)
+        self.peak_allocated_by_buffer[buffer] = max(
+            self.peak_allocated_by_buffer.get(buffer, 0), nbytes)
 
     def on_free(self, buffer: str) -> None:
         self._live_bytes -= self._live_sizes.pop(buffer, 0)
@@ -109,4 +116,5 @@ class Counters(ExecutionListener):
             "loops_entered": self.loops_entered,
             "allocations": self.allocations,
             "peak_allocated_bytes": self.peak_allocated_bytes,
+            "peak_allocated_by_buffer": dict(self.peak_allocated_by_buffer),
         }

@@ -1,0 +1,15 @@
+"""Streaming execution: bounded-memory pipelines over frame sequences.
+
+The sliding-window and storage-folding passes (Section 4.3 of the paper)
+exist to process an unbounded sequence through a fixed-size working set.
+This package is the runtime that exercises them for that headline purpose:
+:func:`realize_stream` compiles a pipeline once for a small chunk of the
+time dimension and advances a rolling history buffer per chunk, so peak
+intermediate memory is O(temporal window) no matter how many frames flow
+through.  See ``docs/streaming.md``.
+"""
+
+from repro.streaming.memory import static_peak_bytes
+from repro.streaming.stream import StreamError, StreamStats, realize_stream
+
+__all__ = ["realize_stream", "StreamError", "StreamStats", "static_peak_bytes"]

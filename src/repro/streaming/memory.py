@@ -1,0 +1,97 @@
+"""Static peak-memory analysis of a lowered pipeline.
+
+The interpreter and NumPy backends report exact allocation peaks through the
+execution listeners, but the ``compiled`` backend runs uninstrumented
+generated code.  For benchmarks and the bounded-memory acceptance checks we
+also want the peak on that backend, so this module computes it statically:
+after lowering specializes on concrete output sizes, every ``Allocate`` size
+folds to a constant (possibly through ``extent_realized`` lets), and the
+worst-case live set is a walk of the tree tracking the running sum of
+enclosing allocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.compiler.simplify import simplify_expr
+from repro.compiler.substitute import substitute
+from repro.ir import stmt as S
+from repro.ir.op import const_value
+
+__all__ = ["static_peak_bytes"]
+
+
+def _resolve(expr, scope: Dict[str, object]):
+    """Substitute known let bindings into ``expr`` and simplify.
+
+    Bindings are kept as (already-resolved) expressions, not just constants:
+    a per-iteration extent like ``(tonemap.t - tonemap.t) + 1`` only folds
+    once both occurrences cancel symbolically.
+    """
+    if scope:
+        expr = substitute(expr, scope)
+    return simplify_expr(expr)
+
+
+def _const_eval(expr, scope: Dict[str, object]) -> Optional[int]:
+    """Evaluate ``expr`` to an int given known let bindings, else None."""
+    value = const_value(_resolve(expr, scope))
+    return int(value) if value is not None else None
+
+
+def _walk(node, live: int, scope: Dict[str, object], peaks: Dict[str, int],
+          exclude: Tuple[str, ...]) -> Tuple[int, bool]:
+    """Returns (peak live bytes under ``node``, all sizes were constant)."""
+    if node is None:
+        return live, True
+    if isinstance(node, S.Allocate):
+        size = _const_eval(node.size, scope)
+        if size is None:
+            # A non-specialized (symbolic) size: report what we can prove.
+            inner, _ = _walk(node.body, live, scope, peaks, exclude)
+            return inner, False
+        nbytes = int(size) * node.type.to_numpy_dtype().itemsize
+        counted = 0 if node.name in exclude else nbytes
+        if node.name not in exclude:
+            peaks[node.name] = max(peaks.get(node.name, 0), nbytes)
+        return _walk(node.body, live + counted, scope, peaks, exclude)
+    if isinstance(node, S.LetStmt):
+        inner = {**scope, node.name: _resolve(node.value, scope)}
+        return _walk(node.body, live, inner, peaks, exclude)
+    if isinstance(node, S.Block):
+        peak, exact = live, True
+        for child in node.stmts:
+            p, e = _walk(child, live, scope, peaks, exclude)
+            peak, exact = max(peak, p), exact and e
+        return peak, exact
+    if isinstance(node, S.IfThenElse):
+        p1, e1 = _walk(node.then_case, live, scope, peaks, exclude)
+        p2, e2 = _walk(node.else_case, live, scope, peaks, exclude)
+        return max(p1, p2), e1 and e2
+    if isinstance(node, (S.For, S.ProducerConsumer, S.Realize)):
+        return _walk(node.body, live, scope, peaks, exclude)
+    return live, True
+
+
+def static_peak_bytes(lowered, exclude: Iterable[str] = ()
+                      ) -> Tuple[Optional[int], Dict[str, int]]:
+    """Worst-case simultaneous intermediate allocation of a lowered pipeline.
+
+    Returns ``(peak_bytes, per_buffer)`` where ``per_buffer`` maps each
+    allocated buffer to its (largest) size in bytes.  ``exclude`` names
+    buffers that do not count against the peak — by default the output,
+    whose storage the caller owns (matching the runtime counters, which skip
+    externally provided buffers).  Returns ``(None, {...})`` when some
+    allocation size did not fold to a constant (un-specialized lowering, or
+    a loop-dependent extent).
+    """
+    stmt = getattr(lowered, "stmt", None)
+    if stmt is None:
+        return None, {}
+    exclude = tuple(exclude)
+    if not exclude and getattr(lowered, "output", None) is not None:
+        exclude = (lowered.output.name,)
+    peaks: Dict[str, int] = {}
+    peak, exact = _walk(stmt, 0, {}, peaks, exclude)
+    return (peak if exact else None), peaks
