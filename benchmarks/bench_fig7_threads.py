@@ -1,5 +1,6 @@
 """Figure 7 (thread scaling): wall time of ``.parallel()`` schedules versus
-``Target.threads`` on the compiled backend, for both parallel runtimes.
+``Target.threads`` on the compiled backend (both parallel runtimes) and the
+native compile-to-C backend (OpenMP teams, when a C toolchain is present).
 
 The paper's Figure 7 schedules win by combining vectorization with multi-core
 parallelism.  The compiled backend is the first in this reproduction where a
@@ -31,6 +32,7 @@ import numpy as np
 import pytest
 
 from repro.apps import make_blur
+from repro.codegen.c_toolchain import toolchain_available
 from repro.codegen.process_runtime import (
     process_pool_available,
     shutdown_process_pools,
@@ -48,7 +50,16 @@ def _parallel_modes():
     modes = ["thread"]
     if process_pool_available():
         modes.append("process")
+    if toolchain_available():
+        modes.append("native")
     return tuple(modes)
+
+
+def _target(mode: str, workers: int) -> Target:
+    if mode == "native":
+        return Target("native", threads=workers)
+    return Target("compiled", threads=workers,
+                  parallel=None if mode == "thread" else mode)
 
 
 @pytest.mark.figure("fig7_threads")
@@ -66,8 +77,7 @@ def test_fig7_thread_scaling(benchmark, bench_rng):
                 for workers in THREAD_COUNTS:
                     compiled = pipeline.compile(
                         app.default_size, schedule=schedule,
-                        target=Target("compiled", threads=workers,
-                                      parallel=None if mode == "thread" else mode))
+                        target=_target(mode, workers))
                     compiled()  # warm the pool outside the timed run
                     start = time.perf_counter()
                     output = compiled()
@@ -81,7 +91,7 @@ def test_fig7_thread_scaling(benchmark, bench_rng):
 
     rows = run_once(benchmark, measure_all)
     print_table(
-        f"Figure 7 thread scaling (compiled backend, {os.cpu_count()} cpu)",
+        f"Figure 7 thread scaling ({os.cpu_count()} cpu)",
         [row for row, _ in rows],
         ["schedule", "parallel", "workers", "ms"],
     )

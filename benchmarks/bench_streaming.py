@@ -67,12 +67,20 @@ SCHEDULES = ("breadth_first", "streaming", "streaming_folded")
 
 
 def backend_targets(threads):
-    return {
+    targets = {
         "interp": Target("interp"),
         "numpy": Target("numpy"),
         "compiled": Target("compiled"),
         "compiled-pipelined": Target("compiled", threads=threads),
     }
+    # Native rows only where a C toolchain exists (the memory claims above
+    # are backend-independent; native adds the throughput ceiling).
+    from repro.codegen.c_toolchain import toolchain_available
+
+    if toolchain_available():
+        targets["native"] = Target("native")
+        targets["native-pipelined"] = Target("native", threads=threads)
+    return targets
 
 
 def stream_once(compiled, frames, depth=None):

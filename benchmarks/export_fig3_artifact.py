@@ -6,8 +6,11 @@ and times repeated executions of each CompiledPipeline across all three
 backends:
 
 * ``numpy`` — every schedule;
-* ``compiled`` — every schedule at ``threads=1`` and ``threads=4`` (the only
-  backend where ``.parallel()`` changes wall time);
+* ``compiled`` — every schedule at ``threads=1`` and ``threads=4``;
+* ``native`` — every schedule at ``threads=1`` and ``threads=4``, when a C
+  toolchain is present (skipped honestly otherwise); the artifact asserts
+  the native backend's geometric-mean speedup over compiled (threads=1) is
+  at least :data:`NATIVE_SPEEDUP_GATE` — the perf gate CI runs;
 * ``interp`` — the breadth-first baseline only (the interpreter is ~100x
   slower; one row anchors the speedup columns without stalling CI).
 
@@ -49,6 +52,9 @@ SCALING_SHAPE = (512, 512)
 SCALING_SCHEDULE = "tuned"
 SCALING_THREADS = (1, 2, 4)
 SCALING_REPEATS = 3
+#: The perf gate: native (threads=1) must beat compiled (threads=1) by at
+#: least this factor, as a geometric mean across the schedule sweep.
+NATIVE_SPEEDUP_GATE = 5.0
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_fig3.json"
 
@@ -65,12 +71,19 @@ def time_compiled(compiled, repeats: int = REPEATS) -> float:
 def sweep_schedules(app, pipeline):
     """Every named schedule on every backend: name@target -> timing row."""
     size = app.default_size
+    from repro.codegen.c_toolchain import toolchain_available
+
     targets = [
         (Target(backend="numpy"), tuple(BLUR_SCHEDULES)),
         (Target(backend="compiled", threads=1), tuple(BLUR_SCHEDULES)),
         (Target(backend="compiled", threads=4), tuple(BLUR_SCHEDULES)),
         (Target(backend="interp"), INTERP_SCHEDULES),
     ]
+    if toolchain_available():
+        targets += [
+            (Target(backend="native", threads=1), tuple(BLUR_SCHEDULES)),
+            (Target(backend="native", threads=4), tuple(BLUR_SCHEDULES)),
+        ]
     results = {}
     for target, names in targets:
         for name in names:
@@ -104,10 +117,34 @@ def backend_speedups(results):
     return speedups
 
 
+def native_speedups(results):
+    """native vs compiled, both at threads=1, per schedule — the machine-code
+    win the paper's headline numbers come from.  None without a toolchain."""
+    if not any(key.endswith("@native-threads1") for key in results):
+        return None
+    speedups = {}
+    for name in BLUR_SCHEDULES:
+        via_compiled = results[f"{name}@compiled-threads1"]["seconds"]
+        via_native = results[f"{name}@native-threads1"]["seconds"]
+        speedups[name] = via_compiled / max(via_native, 1e-9)
+    return speedups
+
+
+def assert_native_gate(speedups) -> float:
+    """The fig3 perf gate: geomean native-over-compiled >= NATIVE_SPEEDUP_GATE."""
+    values = np.array(list(speedups.values()), dtype=np.float64)
+    geomean = float(np.exp(np.log(values).mean()))
+    assert geomean >= NATIVE_SPEEDUP_GATE, (
+        f"native backend geomean speedup over compiled is {geomean:.2f}x, "
+        f"below the {NATIVE_SPEEDUP_GATE:.1f}x gate: {speedups}")
+    return geomean
+
+
 def thread_scaling():
     """Wall time of a parallel schedule at several worker counts, for each
     available parallel runtime (threads always; processes where shared
     memory works)."""
+    from repro.codegen.c_toolchain import toolchain_available
     from repro.codegen.process_runtime import process_pool_available
 
     image = np.random.default_rng(20130616).random(SCALING_SHAPE).astype(np.float32)
@@ -115,13 +152,18 @@ def thread_scaling():
     pipeline = app.pipeline()
     schedule = app.named_schedule(SCALING_SCHEDULE)
     modes = ("thread", "process") if process_pool_available() else ("thread",)
+    if toolchain_available():
+        modes += ("native",)  # OpenMP teams, recorded under the same sweep
     rows = []
     for mode in modes:
         for workers in SCALING_THREADS:
-            compiled = pipeline.compile(
-                app.default_size, schedule=schedule,
-                target=Target("compiled", threads=workers,
-                              parallel=None if mode == "thread" else mode))
+            if mode == "native":
+                target = Target("native", threads=workers)
+            else:
+                target = Target("compiled", threads=workers,
+                                parallel=None if mode == "thread" else mode)
+            compiled = pipeline.compile(app.default_size, schedule=schedule,
+                                        target=target)
             seconds = time_compiled(compiled, repeats=SCALING_REPEATS)
             rows.append({"parallel": mode, "workers": workers,
                          "seconds": seconds})
@@ -150,11 +192,22 @@ def main(output_path=DEFAULT_OUTPUT) -> None:
 
     results = sweep_schedules(app, pipeline)
     speedups = backend_speedups(results)
+    native = native_speedups(results)
     scaling = thread_scaling()
 
     print("\ncompiled (threads=1) speedup over numpy, per schedule:")
     for name, speedup in speedups.items():
         print(f"{name:>18}  {speedup:5.2f}x")
+    native_geomean = None
+    if native is not None:
+        print("\nnative (threads=1) speedup over compiled, per schedule:")
+        for name, speedup in native.items():
+            print(f"{name:>18}  {speedup:5.2f}x")
+        native_geomean = assert_native_gate(native)
+        print(f"native geomean {native_geomean:.2f}x "
+              f"(gate: >= {NATIVE_SPEEDUP_GATE:.1f}x)")
+    else:
+        print("\nno C toolchain: native rows skipped (gate not evaluated)")
     print(f"thread scaling ({SCALING_SCHEDULE}, {scaling['cpu_count']} cpu): "
           f"{scaling['speedup_4_over_1']:.2f}x at 4 threads")
 
@@ -168,6 +221,9 @@ def main(output_path=DEFAULT_OUTPUT) -> None:
         "cache_info": pipeline.cache_info()._asdict(),
         "results": results,
         "compiled_speedup_over_numpy": speedups,
+        "native_speedup_over_compiled": native,
+        "native_speedup_geomean": native_geomean,
+        "native_speedup_gate": NATIVE_SPEEDUP_GATE,
         "thread_scaling": scaling,
     }
     with open(output_path, "w") as fh:

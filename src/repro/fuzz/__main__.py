@@ -31,7 +31,8 @@ def main(argv=None) -> int:
         prog="python -m repro.fuzz",
         description="Differential fuzzing of the schedule/backend stack: "
                     "random pipelines x random legal schedules, realized on "
-                    "interp/numpy/compiled and checked bit-identical.")
+                    "interp/numpy/compiled (and optionally native) and "
+                    "checked bit-identical.")
     parser.add_argument("--seed", type=int, default=0,
                         help="base seed of the corpus (default 0)")
     parser.add_argument("--cases", type=int, default=100,
@@ -48,6 +49,12 @@ def main(argv=None) -> int:
                         help="comma-separated worker counts for the "
                              "process-pool leg (compiled backend with "
                              "parallel='process'); empty (default) skips it")
+    parser.add_argument("--native", nargs="?", const="1,4", default="",
+                        metavar="THREADS",
+                        help="run the native compile-to-C leg at these "
+                             "comma-separated thread counts (bare --native "
+                             "means '1,4'; skipped silently without a C "
+                             "toolchain)")
     parser.add_argument("--max-stages", type=int, default=None,
                         help="override the generator's maximum pipeline depth")
     parser.add_argument("--max-failures", type=int, default=10,
@@ -59,6 +66,7 @@ def main(argv=None) -> int:
     thread_counts = tuple(int(t) for t in str(args.threads).split(",") if t)
     process_workers = tuple(
         int(w) for w in str(args.process_workers).split(",") if w)
+    native_threads = tuple(int(t) for t in str(args.native).split(",") if t)
     config = None
     if args.max_stages is not None:
         config = GeneratorConfig(max_stages=int(args.max_stages))
@@ -70,7 +78,8 @@ def main(argv=None) -> int:
         seed = case_seed(args.seed, index)
         case = FuzzCase.from_seed(seed, config=config,
                                   thread_counts=thread_counts,
-                                  process_worker_counts=process_workers)
+                                  process_worker_counts=process_workers,
+                                  native_thread_counts=native_threads)
         report = run_case(case)
         if report.invalid:
             # from_seed pre-validates schedules, so this is unreachable in

@@ -7,7 +7,9 @@ and is JSON-serializable, so failing cases travel as self-contained repro
 scripts (:func:`repro_script`).
 
 :func:`run_case` realizes the case on the scalar interpreter (the reference),
-the NumPy backend, and the compiled backend at each thread count, and checks:
+the NumPy backend, the compiled backend at each thread count, and — when the
+case requests it and a C toolchain is available — the native compile-to-C
+backend, and checks:
 
 * **bit-identical output** — same dtype, same shape, same bytes, across every
   backend and thread count (no tolerance: the paper's guarantee is that a
@@ -83,6 +85,11 @@ class FuzzCase:
     #: ``parallel="process"``).  Empty ⇒ the leg is skipped, and the case
     #: serializes exactly as the pre-process format (stable keys/corpora).
     process_worker_counts: Tuple[int, ...] = ()
+    #: Thread counts for the native compile-to-C leg.  Empty ⇒ the leg is
+    #: skipped, and the case serializes exactly as the pre-native format
+    #: (stable keys/corpora).  Silently skipped when no C toolchain exists —
+    #: the leg proves the codegen, not the platform.
+    native_thread_counts: Tuple[int, ...] = ()
     #: The seed this case was derived from (informational; replay uses the
     #: embedded spec/schedule, never the generator).
     seed: Optional[int] = None
@@ -94,11 +101,14 @@ class FuzzCase:
                            tuple(int(t) for t in self.thread_counts))
         object.__setattr__(self, "process_worker_counts",
                            tuple(int(w) for w in self.process_worker_counts))
+        object.__setattr__(self, "native_thread_counts",
+                           tuple(int(t) for t in self.native_thread_counts))
 
     @classmethod
     def from_seed(cls, seed: int, config: Optional[GeneratorConfig] = None,
                   thread_counts: Sequence[int] = (1, 4),
-                  process_worker_counts: Sequence[int] = ()) -> "FuzzCase":
+                  process_worker_counts: Sequence[int] = (),
+                  native_thread_counts: Sequence[int] = ()) -> "FuzzCase":
         """Derive a full case (pipeline, schedule, sizes) from one seed."""
         import random
 
@@ -109,6 +119,7 @@ class FuzzCase:
         return cls(spec=spec, schedule=schedule, sizes=sizes,
                    thread_counts=tuple(thread_counts),
                    process_worker_counts=tuple(process_worker_counts),
+                   native_thread_counts=tuple(native_thread_counts),
                    seed=int(seed))
 
     def key(self) -> str:
@@ -134,6 +145,8 @@ class FuzzCase:
         # hashes) are byte-for-byte unchanged.
         if self.process_worker_counts:
             data["process_worker_counts"] = list(self.process_worker_counts)
+        if self.native_thread_counts:
+            data["native_thread_counts"] = list(self.native_thread_counts)
         return data
 
     @classmethod
@@ -147,6 +160,7 @@ class FuzzCase:
             sizes=tuple(data["sizes"]),
             thread_counts=tuple(data.get("thread_counts", (1, 4))),
             process_worker_counts=tuple(data.get("process_worker_counts", ())),
+            native_thread_counts=tuple(data.get("native_thread_counts", ())),
             seed=data.get("seed"),
         )
 
@@ -160,8 +174,10 @@ class FuzzCase:
     def describe(self) -> str:
         workers = (f" process_workers={list(self.process_worker_counts)}"
                    if self.process_worker_counts else "")
+        native = (f" native_threads={list(self.native_thread_counts)}"
+                  if self.native_thread_counts else "")
         lines = [f"sizes={list(self.sizes)} threads={list(self.thread_counts)}"
-                 f"{workers} seed={self.seed}",
+                 f"{workers}{native} seed={self.seed}",
                  "--- pipeline ---", self.spec.describe(),
                  "--- schedule ---", self.schedule.describe() or "(default)"]
         return "\n".join(lines)
@@ -295,6 +311,28 @@ def run_case(case: FuzzCase, raise_on_failure: bool = False,
                 except Exception as error:  # noqa: BLE001 - captured as a finding
                     failures.append(
                         f"compiled(process workers={workers}) raised "
+                        f"{type(error).__name__}: {error}\n"
+                        + traceback.format_exc(limit=6))
+
+    # Fifth leg: the native compile-to-C backend at every requested thread
+    # count (silently skipped without a C toolchain — the leg proves the
+    # codegen, not the platform).
+    if case.native_thread_counts:
+        from repro.codegen.c_toolchain import toolchain_available
+
+        if toolchain_available():
+            for threads in case.native_thread_counts:
+                try:
+                    out = pipeline.realize(sizes, schedule=case.schedule,
+                                           target=Target("native",
+                                                         threads=threads))
+                    diff = _bit_identical(ref, out)
+                    if diff:
+                        failures.append(
+                            f"native(threads={threads}) output: {diff}")
+                except Exception as error:  # noqa: BLE001 - captured as a finding
+                    failures.append(
+                        f"native(threads={threads}) raised "
                         f"{type(error).__name__}: {error}\n"
                         + traceback.format_exc(limit=6))
 

@@ -56,13 +56,15 @@ DiskCacheInfo = namedtuple(
 
 class _RestoredLowering:
     """Stand-in for a :class:`LoweredPipeline` rebuilt from the persistent
-    cache: the compiled program is restored from stored source text, so no
-    IR exists.  Only the ``compiled`` backend runs against it, and
-    :class:`CompiledPipeline` reads its run-time metadata from the cache
-    payload rather than from here."""
+    cache: the program is restored from stored source text (or a cached
+    shared object), so no IR exists.  Only the ``compiled`` and ``native``
+    backends run against it, and :class:`CompiledPipeline` reads its
+    run-time metadata from the cache payload rather than from here."""
 
-    def __init__(self, program):
+    def __init__(self, program=None, native_program=None):
         self._compiled_program = program
+        if native_program is not None:
+            self._native_program = native_program
         self.output = None
         self.stmt = None
         self.image_layouts: Dict[str, object] = {}
@@ -175,6 +177,18 @@ class CompiledPipeline:
         from repro.codegen.source_backend import generate_source
 
         return generate_source(self.lowered)
+
+    def c_source(self) -> str:
+        """The C translation unit the ``native`` backend emits for this
+        pipeline (cached once built; pure codegen otherwise — no toolchain
+        needed, so the C is inspectable on machines without a compiler).
+        """
+        program = getattr(self.lowered, "_native_program", None)
+        if program is not None:
+            return program.source
+        from repro.codegen.c_backend import generate_c_source
+
+        return generate_c_source(self.lowered)[0]
 
     # ------------------------------------------------------------------
     # execution
@@ -359,12 +373,14 @@ class CompiledPipeline:
 
     # -- persistence ----------------------------------------------------
     def _disk_payload(self) -> Dict[str, object]:
-        """The JSON-serializable record the persistent cache stores."""
-        from repro.codegen.source_backend import compile_lowered
+        """The JSON-serializable record the persistent cache stores.
 
-        program = compile_lowered(self.lowered)
-        return {
-            "source": program.source,
+        The ``source`` key always holds the program's source text (Python
+        for the ``compiled`` backend, C for ``native``) — the cache's
+        validity check requires it, and a native entry whose ``.so`` blob
+        was evicted rebuilds from this source without re-lowering.
+        """
+        payload: Dict[str, object] = {
             "output_name": self._output_name,
             "dim_names": list(self._dim_names),
             "out_dtype": str(self._out_dtype),
@@ -374,20 +390,46 @@ class CompiledPipeline:
                 name: (list(shape) if shape is not None else None)
                 for name, shape in self._baked_shapes.items()},
         }
+        if self.target.backend == "native":
+            from repro.codegen.c_backend import compile_lowered_native
+
+            program = compile_lowered_native(self.lowered)
+            payload["kind"] = "native"
+            payload["source"] = program.source
+            payload["native_meta"] = program.metadata()
+            payload["native_digest"] = program.digest
+        else:
+            from repro.codegen.source_backend import compile_lowered
+
+            payload["source"] = compile_lowered(self.lowered).source
+        return payload
 
     @classmethod
     def _restore(cls, pipeline: "Pipeline", payload: Dict[str, object],
                  sizes: Sequence[int], schedule: Schedule, target: Target,
                  options: Optional[LoweringOptions], cache_key=None,
-                 images: Optional[Dict[str, object]] = None) -> "CompiledPipeline":
-        """Rebuild a CompiledPipeline from a persistent-cache payload
-        (re-``exec`` the stored source; no lowering happens)."""
-        from repro.codegen.source_backend import make_program
+                 images: Optional[Dict[str, object]] = None,
+                 blob_path=None) -> "CompiledPipeline":
+        """Rebuild a CompiledPipeline from a persistent-cache payload.
 
-        program = make_program(
-            str(payload["source"]),
-            f"<repro.restored:{payload['output_name']}>")
-        return cls(pipeline, _RestoredLowering(program), sizes, schedule,
+        Compiled entries re-``exec`` the stored Python source; native
+        entries ``dlopen`` the cached ``.so`` blob when ``blob_path`` exists
+        (zero compiler invocations) and rebuild from the stored C source
+        otherwise.  No lowering happens on either path.
+        """
+        if payload.get("kind") == "native":
+            from repro.codegen.c_backend import restore_native_program
+
+            native = restore_native_program(
+                payload, str(blob_path) if blob_path is not None else None)
+            lowered = _RestoredLowering(native_program=native)
+        else:
+            from repro.codegen.source_backend import make_program
+
+            lowered = _RestoredLowering(make_program(
+                str(payload["source"]),
+                f"<repro.restored:{payload['output_name']}>"))
+        return cls(pipeline, lowered, sizes, schedule,
                    target, options, cache_key=cache_key, images=images,
                    meta=payload)
 
@@ -547,17 +589,23 @@ class Pipeline:
             return cached
         self._cache_misses += 1
 
-        # On an LRU miss, try the persistent cache (compiled backend only:
-        # its program is source text, which survives a process restart).
-        disk = self._resolve_disk_cache() if target.backend == "compiled" else None
+        # On an LRU miss, try the persistent cache (compiled and native
+        # backends only: their programs are source text — plus, for native,
+        # a content-addressed .so blob — which survive a process restart).
+        disk = self._resolve_disk_cache() \
+            if target.backend in ("compiled", "native") else None
         key_str = _disk_key_string(key) if disk is not None else None
         if disk is not None:
             payload = disk.load(key_str)
             if payload is not None:
+                blob = None
+                if payload.get("kind") == "native":
+                    digest = payload.get("native_digest")
+                    blob = disk.blob_path(str(digest)) if digest else None
                 try:
                     compiled = CompiledPipeline._restore(
                         self, payload, sizes, sched, target, options,
-                        cache_key=key, images=images)
+                        cache_key=key, images=images, blob_path=blob)
                 except Exception:
                     # A well-formed entry whose source no longer execs
                     # (format drift, manual tampering): recompile over it.
@@ -574,10 +622,21 @@ class Pipeline:
             from repro.codegen.source_backend import compile_lowered
 
             compile_lowered(lowered)
+        elif target.backend == "native":
+            # Same contract, heavier step: emit C, invoke the system
+            # compiler, dlopen the result.  A missing toolchain surfaces
+            # here as one clear ToolchainError — at compile() time.
+            from repro.codegen.c_backend import compile_lowered_native
+
+            compile_lowered_native(lowered)
         compiled = CompiledPipeline(self, lowered, sizes, sched, target, options,
                                     cache_key=key, images=images)
         if disk is not None:
             disk.store(key_str, compiled._disk_payload())
+            if target.backend == "native":
+                program = lowered._native_program
+                if program.so_path:
+                    disk.store_blob(program.digest, program.so_path)
         return self._cache_insert(key, compiled)
 
     def _cache_insert(self, key, compiled: CompiledPipeline) -> CompiledPipeline:

@@ -18,7 +18,14 @@ the benchmark harness select one by name:
   Python/NumPy function per lowered pipeline (``compile()``+``exec()``'d
   once), runs ``ForType.PARALLEL`` loops on a thread pool sized by
   ``Target.threads``, and drives no instrumentation listeners.  The fastest
-  backend; bit-identical to the interpreter.
+  pure-Python backend; bit-identical to the interpreter.
+* ``"native"`` — the compile-to-C backend
+  (:class:`~repro.codegen.c_backend.NativeExecutor`).  Emits one C
+  translation unit per lowered pipeline, builds it into a shared object with
+  the system C compiler (OpenMP parallel-for when available), and calls it
+  through :mod:`ctypes`.  Bit-identical to the interpreter and the fastest
+  backend by far; requires a C toolchain (see
+  :mod:`repro.codegen.c_toolchain`).
 
 The default is ``"interp"``; set the ``REPRO_BACKEND`` environment variable
 or pass ``backend=``/``target=`` to :meth:`Pipeline.realize` to override.
@@ -95,6 +102,10 @@ def _ensure_builtin_backends() -> None:
         from repro.codegen.source_backend import CompiledExecutor
 
         register_backend("compiled", CompiledExecutor)
+    if "native" not in _BACKENDS:
+        from repro.codegen.c_backend import NativeExecutor
+
+        register_backend("native", NativeExecutor)
 
 
 def backend_names() -> tuple:

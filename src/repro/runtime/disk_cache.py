@@ -3,10 +3,15 @@
 The in-memory LRU in :class:`~repro.pipeline.Pipeline` amortizes lowering
 within one process; a serving deployment restarts processes all the time, so
 this module persists compiled programs under a configurable directory.  Each
-entry is one JSON file storing the generated Python source (the ``compiled``
-backend's program *is* source text — nothing binary to serialize) plus the
-run-time metadata a restored :class:`~repro.pipeline.CompiledPipeline` needs
-(output name, dims, dtype, rounded shape, baked image shapes).
+entry is one JSON file storing the generated source (the ``compiled``
+backend's Python program, or the ``native`` backend's C translation unit)
+plus the run-time metadata a restored
+:class:`~repro.pipeline.CompiledPipeline` needs (output name, dims, dtype,
+rounded shape, baked image shapes).  The native backend additionally stores
+its built shared object as a content-addressed *blob* (``<digest>.so``)
+beside the JSON entries, so a warm start ``dlopen``\\ s machine code directly
+— zero lowerings *and* zero C-compiler invocations; a missing or evicted
+blob degrades to recompiling the stored C source (still zero lowerings).
 
 Design constraints, in order:
 
@@ -34,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 from pathlib import Path
 from typing import Optional
@@ -155,6 +161,42 @@ class PersistentCache:
         self.stores += 1
         self._enforce_limit(keep=path)
 
+    # -- binary blobs (native .so artifacts) ----------------------------
+    def blob_path(self, digest: str) -> Path:
+        """Where the blob for a content ``digest`` lives (may not exist)."""
+        return self.directory / f"{digest}.so"
+
+    def store_blob(self, digest: str, source_path: str) -> Optional[Path]:
+        """Copy a built artifact into the cache under its content digest.
+
+        Same guarantees as :meth:`store`: atomic (temp + ``os.replace``),
+        best effort (failures return None — the cache accelerates restarts,
+        it must never fail a compile), and counted against the size bound.
+        Content addressing makes the copy idempotent: an existing blob with
+        the same digest is already the right bytes.
+        """
+        path = self.blob_path(digest)
+        if path.exists():
+            return path
+        temp_name = None
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=path.stem[:32], suffix=".tmp")
+            os.close(fd)
+            shutil.copyfile(source_path, temp_name)
+            os.replace(temp_name, path)
+        except OSError:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+            return None
+        self.stores += 1
+        self._enforce_limit(keep=path)
+        return path
+
     def _enforce_limit(self, keep: Optional[Path] = None) -> None:
         """Evict least-recently-used entries until the directory fits
         ``max_bytes``.  The just-stored entry (``keep``) is never evicted —
@@ -170,7 +212,7 @@ class PersistentCache:
         except OSError:
             return
         for name in names:
-            if not name.endswith(".json"):
+            if not (name.endswith(".json") or name.endswith(".so")):
                 continue
             path = self.directory / name
             try:

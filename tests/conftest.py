@@ -2,7 +2,8 @@
 
 The image-comparison helpers live in :mod:`_image_assertions`; the re-export
 below keeps older ``from conftest import assert_images_close`` imports
-working.
+working.  Tests marked ``@pytest.mark.native`` are auto-skipped on machines
+without a C compiler (the probe runs once per process and is cached).
 """
 
 from __future__ import annotations
@@ -11,6 +12,20 @@ import numpy as np
 import pytest
 
 from _image_assertions import assert_images_close  # noqa: F401  (re-export)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``native``-marked tests when no C toolchain is available."""
+    if any(item.get_closest_marker("native") for item in items):
+        from repro.codegen.c_toolchain import toolchain_available
+
+        if not toolchain_available():
+            skip = pytest.mark.skip(
+                reason="no C compiler found (the native backend needs cc/gcc/"
+                       "clang on PATH or $REPRO_CC); see docs/native_backend.md")
+            for item in items:
+                if item.get_closest_marker("native"):
+                    item.add_marker(skip)
 
 
 @pytest.fixture

@@ -124,6 +124,34 @@ def test_smoke_corpus_case_process_pool(seed):
              raise_on_failure=True)
 
 
+#: Pinned slice for the native compile-to-C leg, mirroring the process-pool
+#: slice: smaller than SMOKE_SEEDS because each case also invokes the system
+#: C compiler and realizes at two extra targets (threads 1 and 4).
+NATIVE_SMOKE_SEEDS = tuple(range(6))
+
+
+@pytest.mark.native
+@pytest.mark.parametrize("seed", NATIVE_SMOKE_SEEDS)
+def test_smoke_corpus_case_native(seed):
+    """Tier-1: the native leg is bit-identical to interp at threads {1, 4}
+    (auto-skipped when no C compiler is on PATH)."""
+    run_case(FuzzCase.from_seed(seed, native_thread_counts=(1, 4)),
+             raise_on_failure=True)
+
+
+def test_native_thread_counts_do_not_change_case_keys():
+    """Adding the native leg must not invalidate existing corpora: a case
+    without native threads serializes exactly as the pre-leg format."""
+    plain = FuzzCase.from_seed(3)
+    assert "native_thread_counts" not in plain.to_dict()
+    with_leg = FuzzCase.from_seed(3, native_thread_counts=(1, 4))
+    assert with_leg.to_dict()["native_thread_counts"] == [1, 4]
+    assert plain.key() != with_leg.key()
+    replayed = FuzzCase.from_json(with_leg.to_json())
+    assert replayed.native_thread_counts == (1, 4)
+    assert replayed.key() == with_leg.key()
+
+
 def test_process_worker_counts_do_not_change_case_keys():
     """Adding the process leg must not invalidate existing corpora: a case
     without process workers serializes exactly as the pre-leg format."""
