@@ -1,0 +1,159 @@
+"""Raster/pyramid benchmark: frames/sec per backend per schedule, parity-gated.
+
+The two apps this measures exist to exercise the op kinds the stencil apps
+never reach — ordered alpha blending (``rasterize``) and clamped
+computed-coordinate gathers (``pyramid``) — so before a single number is
+written, every (app, schedule, backend) combination's output is compared
+**byte-for-byte** against the app's scalar NumPy reference.  A parity
+failure aborts the run; the artifact only ever contains rows whose output
+was bit-identical.
+
+Each row records ``frames_per_sec``: full realizations of the app per
+second (compile happens once, outside the timed region, through the
+compile cache — matching the paper, which measures run time of compiled
+programs).  Native rows appear only where a C toolchain is on PATH.
+
+The artifact is written to ``BENCH_raster.json`` in the repository root;
+CI's ``raster-smoke`` job uploads it per PR, and the in-tree snapshot is
+refreshed by re-running this script locally and committing the result.
+
+Run with:  python benchmarks/bench_raster.py [--quick] [--out BENCH_raster.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.apps import (  # noqa: E402
+    default_primitives,
+    make_pyramid,
+    make_rasterize,
+    pyramid_schedules,
+)
+from repro.reference import pyramid_ref, rasterize_ref  # noqa: E402
+from repro.runtime.target import Target  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_raster.json"
+
+#: (raster width, raster height, primitive count, pyramid width, pyramid
+#: height, pyramid levels) per profile.  "full" is sized so the interpreter
+#: rows (slowest by orders of magnitude) still finish in minutes.
+PROFILES = {
+    "full": (48, 32, 24, 36, 30, 2),
+    "quick": (20, 14, 12, 21, 17, 2),
+}
+
+#: Minimum measured wall time per row; repeats accumulate until reached.
+MIN_MEASURE_SECONDS = 0.05
+MAX_REPEATS = 50
+
+
+def backend_targets(threads):
+    targets = {
+        "interp": Target("interp"),
+        "numpy": Target("numpy"),
+        "compiled": Target("compiled", threads=1),
+        "compiled-parallel": Target("compiled", threads=threads),
+    }
+    from repro.codegen.c_toolchain import toolchain_available
+
+    if toolchain_available():
+        targets["native"] = Target("native", threads=1)
+        targets["native-parallel"] = Target("native", threads=threads)
+    return targets
+
+
+def measure(app_name, app, schedule, backend, target, reference):
+    compiled = app.compile(schedule, target=target)
+
+    # Warm-up (worker pools, compile caches) and the parity gate: the row
+    # only exists if the output is bit-identical to the scalar reference.
+    output = compiled.run()
+    assert output.tobytes() == reference.tobytes(), \
+        f"{app_name}/{schedule}/{backend}: output differs from reference"
+
+    repeats, elapsed = 0, 0.0
+    while repeats < MAX_REPEATS and (repeats < 3 or elapsed < MIN_MEASURE_SECONDS):
+        started = time.perf_counter()
+        compiled.run()
+        elapsed += time.perf_counter() - started
+        repeats += 1
+
+    return {
+        "app": app_name,
+        "schedule": schedule,
+        "backend": backend,
+        "threads": target.threads,
+        "repeats": repeats,
+        "frames_per_sec": repeats / max(elapsed, 1e-9),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes for CI smoke runs")
+    parser.add_argument("--profile", choices=tuple(PROFILES), default=None,
+                        help="explicit profile (overrides --quick)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="thread count for the parallel rows")
+    args = parser.parse_args(argv)
+    profile = args.profile or ("quick" if args.quick else "full")
+    rw, rh, prim_count, pw, ph, levels = PROFILES[profile]
+
+    prims = default_primitives(rw, rh, count=prim_count)
+    image = np.random.default_rng(20130616).random((pw, ph)).astype(np.float32)
+
+    apps = {
+        "rasterize": (make_rasterize(rw, rh, prims),
+                      rasterize_ref(rw, rh, prims)),
+        "pyramid": (make_pyramid(image, levels=levels),
+                    pyramid_ref(image, levels=levels)),
+    }
+    assert set(apps["pyramid"][0].schedules) == set(pyramid_schedules(levels))
+
+    rows = []
+    for app_name, (app, reference) in apps.items():
+        for schedule in sorted(app.schedules):
+            for backend, target in backend_targets(args.threads).items():
+                row = measure(app_name, app, schedule, backend, target,
+                              reference)
+                rows.append(row)
+                print(f"{app_name:>9}  {schedule:<16} {backend:>17} "
+                      f"{row['frames_per_sec']:10.1f} f/s", flush=True)
+
+    artifact = {
+        "benchmark": "raster_pyramid_throughput",
+        "profile": profile,
+        "raster_size": [rw, rh],
+        "primitives": prim_count,
+        "pyramid_size": [pw, ph],
+        "levels": levels,
+        "threads": args.threads,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

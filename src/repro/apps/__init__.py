@@ -9,7 +9,7 @@ destructively (``app.apply_schedule(name)``) or non-destructively
 (``app.compile(schedule=name)``).
 """
 
-from repro.apps.common import AppPipeline, downsample_2d, upsample_2d
+from repro.apps.common import AppPipeline, downsample_2d, resample_axis, upsample_2d
 from repro.apps.blur import make_blur, BLUR_SCHEDULES
 from repro.apps.histogram_equalize import make_histogram_equalize, HISTOGRAM_SCHEDULES
 from repro.apps.unsharp import make_unsharp, UNSHARP_SCHEDULES
@@ -18,10 +18,13 @@ from repro.apps.camera_pipe import make_camera_pipe
 from repro.apps.interpolate import make_interpolate
 from repro.apps.local_laplacian import make_local_laplacian
 from repro.apps.video import make_video, video_schedules
+from repro.apps.rasterize import make_rasterize, default_primitives, RASTERIZE_SCHEDULES
+from repro.apps.pyramid import make_pyramid, pyramid_level_sizes, pyramid_schedules
 
 __all__ = [
     "AppPipeline",
     "downsample_2d",
+    "resample_axis",
     "upsample_2d",
     "make_blur",
     "BLUR_SCHEDULES",
@@ -36,4 +39,10 @@ __all__ = [
     "make_local_laplacian",
     "make_video",
     "video_schedules",
+    "make_rasterize",
+    "default_primitives",
+    "RASTERIZE_SCHEDULES",
+    "make_pyramid",
+    "pyramid_level_sizes",
+    "pyramid_schedules",
 ]

@@ -12,10 +12,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.pipeline_schedule import Schedule, ScheduleBuilder, as_schedule
-from repro.lang import Func, Var
+from repro.lang import Func, Var, cast, clamp
 from repro.pipeline import CompiledPipeline, Pipeline
+from repro.types import Float
 
-__all__ = ["AppPipeline", "downsample_2d", "upsample_2d"]
+__all__ = ["AppPipeline", "downsample_2d", "upsample_2d", "resample_axis"]
 
 #: A named app schedule: Schedule data (preferred) or a legacy mutation callable.
 ScheduleLike = Union[Schedule, ScheduleBuilder, Callable[[Dict[str, Func]], None]]
@@ -159,6 +160,36 @@ def downsample_2d(source: Func, name: str) -> Func:
         + downx[(x, 2 * y + 2, *extra)]
     ) / 8.0
     return downy
+
+
+def resample_axis(source, name: str, num: int, den: int, src_size: int,
+                  axis: int = 0) -> Func:
+    """Resample one axis of a 2-D stage by the (possibly non-integer) rate
+    ``num / den`` with a clamped two-tap gather.
+
+    The result at coordinate ``c`` reads ``source`` at the *computed*
+    coordinate ``clamp((c * num) / den, 0, src_size - 1)`` and the next
+    sample, linearly interpolated by the exact fractional part
+    ``((c * num) % den) / den``.  ``source`` may be a :class:`~repro.lang.Func`
+    or a :class:`~repro.lang.Buffer`; ``src_size`` is its extent along
+    ``axis`` (clamp bounds must be build-time constants, which is what makes
+    the gather's footprint inferable).
+    """
+    x, y = Var("x"), Var("y")
+    f = Func(name)
+    c = x if axis == 0 else y
+    scaled = c * int(num)
+    base = scaled / int(den)
+    frac = cast(Float(32), scaled % int(den)) / float(den)
+    hi = int(src_size) - 1
+
+    def at(coord):
+        return (coord, y) if axis == 0 else (x, coord)
+
+    a = source[at(clamp(base, 0, hi))]
+    b = source[at(clamp(base + 1, 0, hi))]
+    f[x, y] = a * (1.0 - frac) + b * frac
+    return f
 
 
 def upsample_2d(source: Func, name: str) -> Func:

@@ -1,0 +1,121 @@
+"""An Array-OL-style resampling pyramid with non-integer rate changes.
+
+The image is decimated ``levels`` times by the rational rate 3/2 per axis
+(separable passes: x then y), then interpolated back up by 2/3 per axis —
+the multi-rate chain shape of Array-OL / stream-processing pipelines, where
+consumer and producer run at incommensurate rates.  Every stage is a clamped
+two-tap gather (:func:`repro.apps.common.resample_axis`): the read coordinate
+is *computed* from the iteration variable (``(c * num) / den``), clamped to
+build-time constants, and blended with the exact fractional part, so bounds
+inference must reason through the computed, clamped footprint.
+
+Stage names are deterministic (``down{l}_x``, ``down{l}_y``, ``up{l}_x``,
+``up{l}_y``), so the named schedules — including a per-level ``compute_at``
+that keeps each level's x-pass inside its y-pass's scanline loop — can
+address every level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.common import AppPipeline, resample_axis
+from repro.core.pipeline_schedule import Schedule
+from repro.lang import Buffer, Func
+
+__all__ = ["make_pyramid", "pyramid_level_sizes", "pyramid_schedules"]
+
+
+def pyramid_level_sizes(width: int, height: int,
+                        levels: int) -> List[Tuple[int, int]]:
+    """Sizes of every pyramid level, full resolution first (ceil of 2/3)."""
+    sizes = [(int(width), int(height))]
+    for _ in range(levels):
+        w, h = sizes[-1]
+        sizes.append(((w * 2 + 2) // 3, (h * 2 + 2) // 3))
+    return sizes
+
+
+def pyramid_schedules(levels: int) -> Dict[str, Schedule]:
+    """The named schedule family for a ``levels``-deep pyramid."""
+    stage_names = []
+    for level in range(1, levels + 1):
+        stage_names += [f"down{level}_x", f"down{level}_y"]
+    for level in range(levels, 0, -1):
+        stage_names += [f"up{level}_x", f"up{level}_y"]
+
+    breadth = Schedule()
+    for name in stage_names[:-1]:
+        breadth = breadth.func(name).compute_root()
+
+    # Per-level locality: every y-pass is materialized, and its x-pass is
+    # computed inside that y-pass's scanline loop (compute_at the gather
+    # consumer — the producer footprint per scanline is the clamped gather
+    # window, which bounds inference derives from the computed coordinates).
+    per_level = Schedule()
+    for name in stage_names[:-1]:
+        if name.endswith("_y"):
+            per_level = per_level.func(name).compute_root()
+        else:
+            per_level = per_level.func(name).compute_at(name[:-2] + "_y", "y")
+
+    parallel_rows = Schedule()
+    for name in stage_names[:-1]:
+        if name.endswith("_y"):
+            parallel_rows = parallel_rows.func(name).compute_root().parallel("y")
+        else:
+            parallel_rows = parallel_rows.func(name).compute_at(name[:-2] + "_y", "y")
+    parallel_rows = parallel_rows.func(stage_names[-1]).parallel("y")
+
+    return {
+        "breadth_first": breadth.schedule,
+        # Every gather stage folded into its consumer (the default call
+        # schedule): one deep computed-coordinate expression per pixel.
+        "inline": Schedule(),
+        "per_level": per_level.schedule,
+        "parallel_rows": parallel_rows.schedule,
+    }
+
+
+def make_pyramid(image: np.ndarray, levels: int = 2,
+                 name: str = "pyramid") -> AppPipeline:
+    """Build the down/up resampling chain over a concrete float32 image.
+
+    ``image`` has shape (width, height).  The output has the input's size;
+    ``levels`` rational decimations (3/2 per axis) are followed by the
+    matching interpolations (2/3 per axis) back up.
+    """
+    image = np.ascontiguousarray(image, dtype=np.float32)
+    width, height = image.shape
+    sizes = pyramid_level_sizes(width, height, levels)
+
+    input_buffer = Buffer(image, name="input")
+    funcs: Dict[str, Func] = {}
+    current = input_buffer
+    # Decimate: level l-1 -> level l, x pass then y pass.
+    for level in range(1, levels + 1):
+        src_w, src_h = sizes[level - 1]
+        down_x = resample_axis(current, f"down{level}_x", 3, 2, src_w, axis=0)
+        down_y = resample_axis(down_x, f"down{level}_y", 3, 2, src_h, axis=1)
+        funcs[down_x.name] = down_x
+        funcs[down_y.name] = down_y
+        current = down_y
+    # Interpolate back: level l -> level l-1.
+    for level in range(levels, 0, -1):
+        src_w, src_h = sizes[level]
+        up_x = resample_axis(current, f"up{level}_x", 2, 3, src_w, axis=0)
+        up_y = resample_axis(up_x, f"up{level}_y", 2, 3, src_h, axis=1)
+        funcs[up_x.name] = up_x
+        funcs[up_y.name] = up_y
+        current = up_y
+
+    return AppPipeline(
+        name=name,
+        output=current,
+        funcs=funcs,
+        algorithm_lines=4,
+        schedules=pyramid_schedules(levels),
+        default_size=[width, height],
+    )

@@ -11,10 +11,11 @@ Two evaluators are provided:
   op/load/store counts and schedule ordering).
 * :class:`WallClockEvaluator` — times real executions, matching the paper's
   use of measured running time.  By default it runs candidates on the
+  ``native`` compile-to-C backend when a C toolchain is available (timing the
+  machine code a deployed pipeline would actually run), falling back to the
   ``compiled`` backend (generated Python/NumPy source, orders of magnitude
-  faster than the interpreter and bit-identical to it), so the genetic search
-  can evaluate far larger populations per second and — uniquely among the
-  backends — actually rewards ``.parallel()`` directives with wall time.
+  faster than the interpreter and bit-identical to it) otherwise; both reward
+  ``.parallel()`` directives with real wall time.
 
 The executing evaluators verify the candidate's output against the reference
 schedule's output (Section 5: "we also verify the program output against a
@@ -179,18 +180,23 @@ class CostModelEvaluator(_BaseEvaluator):
 class WallClockEvaluator(_BaseEvaluator):
     """Scores candidates by wall-clock time (median of ``repeats`` runs).
 
-    Defaults to the ``compiled`` backend — the fastest path, and the only one
-    where ``.parallel()`` directives change wall time (pass
-    ``target=Target("compiled", threads=N)`` to search with a thread pool) —
-    so the genetic search measures what a deployed pipeline would run.  Pass
-    ``backend="numpy"``/``"interp"`` to time those backends instead.
-    Compilation happens *outside* the timed region (matching the paper, which
-    measures run time of compiled programs), so a candidate's fitness is
-    independent of whether its compilation was already cached.
+    Defaults to the ``native`` compile-to-C backend when a C toolchain is on
+    PATH (machine code is what a deployed pipeline runs, so its timings rank
+    schedules most faithfully) and falls back to ``compiled`` (generated
+    Python/NumPy source) otherwise — both reward ``.parallel()`` directives
+    with real wall time (pass ``target=Target(..., threads=N)`` to search
+    with a thread pool).  Pass ``backend="compiled"``/``"numpy"``/``"interp"``
+    to time a specific backend instead.  Compilation happens *outside* the
+    timed region (matching the paper, which measures run time of compiled
+    programs), so a candidate's fitness is independent of whether its
+    compilation was already cached.
     """
 
     def __init__(self, pipeline: Pipeline, sizes: Sequence[int], repeats: int = 1, **kwargs):
-        kwargs.setdefault("backend", "compiled")
+        from repro.codegen.c_toolchain import toolchain_available
+
+        kwargs.setdefault("backend",
+                          "native" if toolchain_available() else "compiled")
         super().__init__(pipeline, sizes, **kwargs)
         self.repeats = max(1, repeats)
 

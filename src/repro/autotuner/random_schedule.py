@@ -208,8 +208,16 @@ def fuzz_gene(func: Function, env: Dict[str, Function],
 
 
 def fuzz_genome(env: Dict[str, Function], consumers: Dict[str, List[str]],
-                output_name: str, rng: random.Random) -> ScheduleGenome:
-    """A fully random genome over the widened fuzzing space (see :func:`fuzz_gene`)."""
+                output_name: str, rng: random.Random,
+                rdom_outer_p: float = 0.0) -> ScheduleGenome:
+    """A fully random genome over the widened fuzzing space (see :func:`fuzz_gene`).
+
+    ``rdom_outer_p`` is the probability of directing an ``rdom_outer``
+    interchange onto one update-stage function.  The default of 0.0 consumes
+    NO rng draws for the feature, keeping the historical draw stream (and
+    every pinned corpus seed) byte-identical; callers fuzzing the extended
+    vocabulary pass a positive probability.
+    """
     genome = ScheduleGenome()
     for name, func in env.items():
         if func.schedule is None:
@@ -220,7 +228,32 @@ def fuzz_genome(env: Dict[str, Function], consumers: Dict[str, List[str]],
         genome.genes[name] = gene
     if rng.random() < 0.35:
         _insert_sliding_fold(genome, env, consumers, output_name, rng)
+    if rdom_outer_p and rng.random() < rdom_outer_p:
+        _insert_rdom_outer(genome, env, rng)
     return genome
+
+
+def _insert_rdom_outer(genome: ScheduleGenome, env: Dict[str, Function],
+                       rng: random.Random) -> None:
+    """Direct an ``rdom_outer`` interchange onto one update-stage function.
+
+    Update stages are where the directive is meaningful (reductions, ordered
+    blends); a random pick among them keeps coverage across sum/min/max and
+    blend combines.  Lowering validates soundness per case — candidates whose
+    updates are not interchange-safe are rejected with a
+    :class:`~repro.core.schedule.ScheduleError` and resampled upstream.
+    Mutates ``genome`` in place; no-op when no function has updates.
+    """
+    candidates = [name for name, func in env.items()
+                  if func.schedule is not None and func.has_updates()]
+    if not candidates:
+        return
+    name = rng.choice(candidates)
+    gene = genome.genes.get(name, FunctionGene(("root",), []))
+    ops = [op for op in gene.domain_ops if op[0] != "rdom_outer"]
+    # Inserted at the front so MAX_DOMAIN_OPS truncation never drops it.
+    ops.insert(0, ("rdom_outer",))
+    genome.genes[name] = FunctionGene(gene.call_schedule, ops)
 
 
 def _insert_sliding_fold(genome: ScheduleGenome, env: Dict[str, Function],

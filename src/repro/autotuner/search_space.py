@@ -54,6 +54,9 @@ class FunctionGene:
     * ``("storage_fold", dim, factor)`` — fold the *storage* dimension ``dim``
       to a ring of ``factor`` entries (legality checked during lowering; an
       illegal fold raises :class:`~repro.core.schedule.ScheduleError`)
+    * ``("rdom_outer",)`` — iterate update stages with the RDom loops hoisted
+      outermost (soundness checked during lowering; an unsafe interchange
+      raises :class:`~repro.core.schedule.ScheduleError`)
     """
 
     call_schedule: Tuple = ("inline",)
@@ -192,6 +195,10 @@ def _apply_domain_ops(schedule: FuncSchedule, ops: Sequence[Tuple]) -> None:
             schedule.gpu_threads(f"{y}_thr")
             schedule.gpu_blocks(f"{x}_blk")
             schedule.gpu_blocks(f"{y}_blk")
+        elif kind == "rdom_outer":
+            # Interchange update nests: RDom loops outermost, pure loops
+            # inside.  Soundness is validated per function during lowering.
+            schedule.rdom_outer = True
         else:
             raise ScheduleError(f"unknown domain op {kind!r}")
 

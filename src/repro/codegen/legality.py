@@ -12,10 +12,21 @@ A loop ``for v in [min, min+extent)`` is *batchable* when its body
 
 * contains no nested loop, allocation, or producer/consumer marker — only
   blocks, lets, guards, asserts, evaluates and stores;
-* never loads from a buffer it also stores (a conservative test for
-  loop-carried dependences such as reductions and scans);
+* never loads from a buffer it also stores — with one exception: a
+  *same-index read-modify-write*, where the body's only store is to a buffer
+  whose every load uses an index structurally equal to the store's index.
+  Each iteration then touches exactly one location of that buffer, so the
+  only way iterations could interact is through index collisions, which the
+  per-store disjointness machinery below already rules out.  This is the
+  shape of ordered blend/accumulate updates iterated with the reduction loop
+  hoisted outermost (``dst[i] = dst[i] * (1 - a) + src * a``);
 * stores each buffer at most once (two scatters to one buffer could
-  interleave differently than the scalar loop);
+  interleave differently than the scalar loop), and — when the body loads
+  from the buffer it stores — performs no *other* store at all: the backends
+  commit stores immediately during a batched attempt, so a later store's
+  runtime uniqueness check aborting after an RMW store committed would make
+  the scalar replay re-apply the read-modify-write.  With the RMW store as
+  the body's only store, every abort happens before it commits;
 * performs at least one store (otherwise batching gains nothing);
 * does not shadow the loop variable with a let.
 
@@ -174,6 +185,8 @@ class _BodyScan:
         self.reason: Optional[str] = None
         self.loaded: set = set()
         self.stored: set = set()
+        self.loads: List[E.Load] = []
+        self.stores: List[S.Store] = []
         self.store_checks: List[StoreCheck] = []
 
     def scan(self, node, lets: Dict[str, E.Expr]) -> None:
@@ -191,11 +204,13 @@ class _BodyScan:
             return
         if isinstance(node, E.Load):
             self.loaded.add(node.name)
+            self.loads.append(node)
         if isinstance(node, S.Store):
             if node.name in self.stored:
                 self.reason = f"buffer {node.name!r} stored more than once"
                 return
             self.stored.add(node.name)
+            self.stores.append(node)
             self._annotate_store(node, lets)
             if self.reason is not None:
                 return
@@ -233,10 +248,31 @@ class _BodyScan:
         if not self.stored:
             return "body performs no stores"
         overlap = self.loaded & self.stored
-        if overlap:
+        if overlap and not self._is_same_index_rmw(overlap):
             return ("possible loop-carried dependence through "
                     + ", ".join(sorted(repr(b) for b in overlap)))
         return None
+
+    def _is_same_index_rmw(self, overlap: set) -> bool:
+        """True when the load/store overlap is a batchable read-modify-write.
+
+        Requires the body's *only* store to be the overlapping one (aborts —
+        which fire at a store's runtime uniqueness check, before it commits —
+        can then never follow a committed RMW store, keeping the scalar
+        replay sound) and every load of that buffer to use an index
+        structurally equal to the store's.  Each iteration then reads and
+        writes one location of the buffer, reducing cross-iteration
+        interference to index collisions — exactly what the per-store
+        disjointness certificate / runtime uniqueness check already proves
+        absent.
+        """
+        if len(self.stores) != 1:
+            return False
+        store = self.stores[0]
+        if overlap != {store.name}:
+            return False
+        return all(load.index == store.index
+                   for load in self.loads if load.name == store.name)
 
 
 def _analyze_loop(loop: S.For) -> LoopBatchInfo:

@@ -34,9 +34,12 @@ Four constructs need care beyond plain broadcasting:
   evaluating it (it is usually a symbolic stride) settles disjointness in
   O(1); otherwise the evaluated index vector is checked for uniqueness
   directly.  A store that fails its check raises an internal abort and the
-  loop re-runs through the scalar path, which is always correct: the body
-  cannot observe its own stores (legality forbids load/store overlap), so
-  re-execution writes every location with the scalar-order values.
+  loop re-runs through the scalar path, which is always correct: the only
+  load/store overlap legality admits is the same-index read-modify-write
+  with the RMW store as the body's sole store, and every abort fires at a
+  store's uniqueness check — i.e. before that store commits — so the scalar
+  re-execution always starts from unmodified buffer contents and writes
+  every location with the scalar-order values.
 
 * **Assertions.**  ``AssertStmt`` conditions may evaluate to vectors; the
   batched loop asserts all lanes at once.
@@ -205,7 +208,9 @@ class NumpyExecutor(Executor):
             else:
                 self.scope[stmt.name] = saved
         if aborted:
-            # Safe to replay: the body cannot load what it stores, so scalar
+            # Safe to replay: the abort fired at the (single) store's
+            # uniqueness check, before it committed — even a same-index RMW
+            # body therefore saw only unmodified buffer contents, and scalar
             # re-execution overwrites every location in the correct order.
             # (The enclosing loop_begin/loop_end are already accounted for.)
             self._run_scalar(stmt, mn, extent, loop_events=False)

@@ -689,9 +689,12 @@ class _Emitter:
             self._scalar_loop(node, mn, ex)
         self.indent -= 1
         if needs_abort:
-            # Replaying after a partial batch is safe: legality forbids the
-            # body loading from a buffer it stores, so the scalar loop
-            # rewrites every location in the correct order.
+            # Replaying after a partial batch is safe: the abort fires at the
+            # single store's uniqueness check, before that store commits (the
+            # only load/store overlap legality admits — the same-index RMW —
+            # requires the body to have no other store), so the scalar loop
+            # starts from unmodified contents and rewrites every location in
+            # the correct order.
             self._line(f"if not {done}:")
             self.indent += 1
             self._scalar_loop(node, mn, ex)

@@ -215,6 +215,30 @@ def _build_update_loop_nest(func: Function, stage: int) -> S.Stmt:
     value = substitute(update.value, substitutions)
     body: S.Stmt = S.Provide(func.name, value, args)
 
+    def pure_loop(inner: S.Stmt, arg: str, for_type: S.ForType) -> S.Stmt:
+        # Free pure variables loop over the stage's required region.
+        return S.For(
+            loop_var_name(func.name, arg, stage),
+            bound_var(func.name, arg, "min"),
+            bound_var(func.name, arg, "extent"),
+            for_type,
+            inner,
+        )
+
+    if schedule.rdom_outer and rvar_loops:
+        # Interchanged nest: pure-variable loops innermost (first argument
+        # innermost), reduction loops hoisted outside.  Sound only when
+        # pure-var points are independent — validated here; violations are
+        # documented-illegal schedules (ScheduleError), not findings.
+        _validate_rdom_outer(func, update, free_pure)
+        for arg in free_pure:
+            body = pure_loop(body, arg, _hoisted_for_type(schedule, arg))
+        for loop_name, mn, extent in rvar_loops:
+            mn = substitute(mn, substitutions)
+            extent = substitute(extent, substitutions)
+            body = S.For(loop_name, mn, extent, S.ForType.SERIAL, body)
+        return body
+
     # Reduction-domain loops, first variable innermost (lexicographic order).
     for loop_name, mn, extent in rvar_loops:
         mn = substitute(mn, substitutions)
@@ -223,14 +247,83 @@ def _build_update_loop_nest(func: Function, stage: int) -> S.Stmt:
 
     # Free pure variables become outer loops over the stage's required region.
     for arg in free_pure:
-        body = S.For(
-            loop_var_name(func.name, arg, stage),
-            bound_var(func.name, arg, "min"),
-            bound_var(func.name, arg, "extent"),
-            S.ForType.SERIAL,
-            body,
-        )
+        body = pure_loop(body, arg, S.ForType.SERIAL)
     return body
+
+
+def _hoisted_for_type(schedule: FuncSchedule, arg: str) -> S.ForType:
+    """The for-type of a hoisted update-stage pure loop.
+
+    Update stages ignore the pure stage's splits, but a PARALLEL marking on
+    any loop dimension derived from ``arg`` carries over: under ``rdom_outer``
+    the pure-var iterations of one reduction step are independent (that is
+    exactly what :func:`_validate_rdom_outer` proves), so running them in
+    parallel cannot change the result.
+    """
+    for d in schedule.dims:
+        if d.for_type == S.ForType.PARALLEL and schedule.root_of(d.var) == arg:
+            return S.ForType.PARALLEL
+    return S.ForType.SERIAL
+
+
+def _expr_variable_names(node, into: set) -> None:
+    from repro.ir.visitor import children_of
+
+    if isinstance(node, E.Variable):
+        into.add(node.name)
+    for child in children_of(node):
+        _expr_variable_names(child, into)
+
+
+def _validate_rdom_outer(func: Function, update, free_pure: Sequence[str]) -> None:
+    """Reject ``rdom_outer`` schedules whose interchange could be observable.
+
+    Hoisting the reduction loops is sound iff each pure-var point evolves
+    independently: the update may reference the function *only at its own
+    point* (``f[x-1, y]`` on the right-hand side would make point ``x`` read
+    point ``x-1`` mid-reduction, and the interchange would change which
+    reduction step's value it sees), and the RDom bounds must not depend on
+    the pure variables (they become outer-loop bounds).
+    """
+    expected = tuple(update.args)
+
+    class _SelfCalls(IRVisitor):
+        def __init__(self):
+            self.bad = False
+
+        def visit_Call(self, node: E.Call):
+            if (node.call_type == E.CallType.HALIDE and node.name == func.name
+                    and tuple(node.args) != expected):
+                self.bad = True
+            for a in node.args:
+                self.visit(a)
+
+    finder = _SelfCalls()
+    finder.visit(update.value)
+    for a in update.args:
+        finder.visit(a)
+    if finder.bad:
+        raise ScheduleError(
+            f"rdom_outer on {func.name!r}: the update references "
+            f"{func.name!r} at a point other than the one it defines, so the "
+            "reduction loops cannot be hoisted outside the pure-variable loops"
+        )
+
+    pure_names = set(free_pure)
+    if update.rdom is not None:
+        for rvar in update.rdom.variables:
+            referenced: set = set()
+            for e in (rvar.min, rvar.extent):
+                if isinstance(e, E.Expr):
+                    _expr_variable_names(e, referenced)
+            clash = referenced & pure_names
+            if clash:
+                raise ScheduleError(
+                    f"rdom_outer on {func.name!r}: reduction variable "
+                    f"{rvar.name!r} has bounds depending on pure variable(s) "
+                    f"{sorted(clash)}, which would be undefined outside their "
+                    "loops"
+                )
 
 
 def produce_nest(func: Function) -> S.Stmt:

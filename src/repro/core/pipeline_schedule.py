@@ -26,6 +26,9 @@ chainable :class:`~repro.lang.func.Func` methods:
 ``("gpu_tile", x, y, xi, yi, xf, yf)``            tile onto the GPU grid
 ``("bound", var, min, extent)``                   bounds promise
 ``("storage_fold", var, factor)``                 forced storage fold
+``("rdom_outer",)``                               hoist reduction loops
+                                                  outside pure-var loops in
+                                                  update stages
 ``("compute_root",)`` / ``("compute_inline",)``   call schedule
 ``("compute_at", func, var)``
 ``("store_root",)`` / ``("store_at", func, var)``
@@ -67,6 +70,7 @@ _DIRECTIVE_ARITY = {
     "gpu_tile": (6, 6),
     "bound": (3, 3),
     "storage_fold": (2, 2),
+    "rdom_outer": (0, 0),
     "compute_root": (0, 0),
     "compute_inline": (0, 0),
     "compute_at": (2, 2),
@@ -185,6 +189,8 @@ def _apply_directive(schedule: FuncSchedule, directive: Tuple) -> None:
         schedule.bound(args[0], int(args[1]), int(args[2]))
     elif op == "storage_fold":
         schedule.storage_folds[args[0]] = int(args[1])
+    elif op == "rdom_outer":
+        schedule.rdom_outer = True
     elif op == "compute_root":
         schedule.compute_root()
     elif op == "compute_inline":
@@ -218,6 +224,8 @@ def _capture_func_schedule(sched: FuncSchedule) -> Tuple[Tuple, ...]:
         directives.append(("bound", var, int(mn), int(extent)))
     for var in sorted(sched.storage_folds):
         directives.append(("storage_fold", var, int(sched.storage_folds[var])))
+    if sched.rdom_outer:
+        directives.append(("rdom_outer",))
     for d in sched.dims:
         if d.for_type != ForType.SERIAL:
             directives.append((_MARK_OPS[d.for_type], d.var))
@@ -526,6 +534,9 @@ class ScheduleBuilder:
 
     def storage_fold(self, var, factor: int) -> "ScheduleBuilder":
         return self._add("storage_fold", _name_of(var), int(factor))
+
+    def rdom_outer(self) -> "ScheduleBuilder":
+        return self._add("rdom_outer")
 
     # -- call schedule --------------------------------------------------
     def compute_at(self, consumer, var) -> "ScheduleBuilder":

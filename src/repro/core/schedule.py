@@ -50,6 +50,12 @@ class FuncSchedule:
         #: Dimensions whose storage should be folded if legal (set by the
         #: storage-folding pass; may also be forced by the user).
         self.storage_folds: Dict[str, int] = {}
+        #: Iterate update stages with the reduction-domain loops hoisted
+        #: *outside* the free pure-variable loops (default: rvars innermost).
+        #: Lowering validates the interchange is sound (pure-var points must
+        #: be independent: self-references only at the update's own point,
+        #: rvar bounds free of pure vars) and raises ScheduleError otherwise.
+        self.rdom_outer: bool = False
 
     # ------------------------------------------------------------------
     # queries
@@ -260,6 +266,7 @@ class FuncSchedule:
         clone.store_level = self.store_level
         clone.bounds = dict(self.bounds)
         clone.storage_folds = dict(self.storage_folds)
+        clone.rdom_outer = self.rdom_outer
         return clone
 
     def reset_domain_order(self) -> None:
@@ -279,6 +286,7 @@ class FuncSchedule:
         self.store_level = LoopLevel.inlined()
         self.bounds = {}
         self.storage_folds = {}
+        self.rdom_outer = False
 
     def describe(self) -> str:
         """A one-line human-readable summary (used in logs and EXPERIMENTS.md)."""
@@ -290,6 +298,8 @@ class FuncSchedule:
         for d in self.dims:
             if d.for_type != ForType.SERIAL:
                 parts.append(f"{d.for_type.value}({d.var})")
+        if self.rdom_outer:
+            parts.append("rdom_outer")
         parts.append(f"compute@{self.compute_level!r}")
         parts.append(f"store@{self.store_level!r}")
         return " ".join(parts)

@@ -29,9 +29,11 @@ from repro.fuzz.pipeline_gen import (
     BuiltPipeline,
     GeneratorConfig,
     build_pipeline,
+    extended_config,
     generate_pipeline,
     generate_spec,
     input_image_for,
+    spec_uses_extended_ops,
 )
 from repro.fuzz.schedule_gen import (
     REJECTION_ERRORS,
@@ -56,6 +58,8 @@ __all__ = [
     "BuiltPipeline",
     "GeneratorConfig",
     "build_pipeline",
+    "extended_config",
+    "spec_uses_extended_ops",
     "generate_pipeline",
     "generate_spec",
     "input_image_for",

@@ -15,7 +15,7 @@ from pathlib import Path
 
 from repro.fuzz.minimize import minimize_case
 from repro.fuzz.oracle import FuzzCase, repro_script, run_case
-from repro.fuzz.pipeline_gen import GeneratorConfig
+from repro.fuzz.pipeline_gen import GeneratorConfig, extended_config
 
 #: Spreads case indices across seed space so adjacent base seeds do not
 #: produce overlapping corpora (prime stride).
@@ -57,6 +57,10 @@ def main(argv=None) -> int:
                              "toolchain)")
     parser.add_argument("--max-stages", type=int, default=None,
                         help="override the generator's maximum pipeline depth")
+    parser.add_argument("--extended", action="store_true",
+                        help="widen the generator vocabulary: gather/blend op "
+                             "kinds and 3-D (time-dimensioned) specs, plus "
+                             "directed rdom_outer schedule interchanges")
     parser.add_argument("--max-failures", type=int, default=10,
                         help="stop after this many failing cases (default 10)")
     parser.add_argument("--quiet", action="store_true",
@@ -68,7 +72,12 @@ def main(argv=None) -> int:
         int(w) for w in str(args.process_workers).split(",") if w)
     native_threads = tuple(int(t) for t in str(args.native).split(",") if t)
     config = None
-    if args.max_stages is not None:
+    if args.extended:
+        overrides = {}
+        if args.max_stages is not None:
+            overrides["max_stages"] = int(args.max_stages)
+        config = extended_config(**overrides)
+    elif args.max_stages is not None:
         config = GeneratorConfig(max_stages=int(args.max_stages))
 
     passed = failed = 0

@@ -48,7 +48,7 @@ from repro.pipeline import Pipeline
 from repro.runtime.target import Target
 
 __all__ = ["FuzzCase", "CaseReport", "FuzzFailure", "run_case", "repro_script",
-           "COMPARED_COUNTERS", "SIZE_CHOICES"]
+           "COMPARED_COUNTERS", "SIZE_CHOICES", "SIZE_CHOICES_3D"]
 
 CASE_FORMAT_VERSION = 1
 
@@ -63,6 +63,11 @@ COMPARED_COUNTERS = ("loads", "stores", "bytes_loaded", "bytes_stored",
 #: couple of comfortable ones.
 SIZE_CHOICES = ((1, 1), (2, 3), (5, 4), (7, 5), (8, 8), (11, 7), (13, 9),
                 (16, 12), (17, 13), (24, 16))
+
+#: Realization sizes for 3-D (time-dimensioned) specs: the same awkwardness,
+#: with short time extents (every frame multiplies work).
+SIZE_CHOICES_3D = ((1, 1, 2), (2, 3, 2), (5, 4, 3), (7, 5, 4), (8, 6, 5),
+                   (11, 7, 3), (13, 9, 4))
 
 
 class FuzzFailure(AssertionError):
@@ -79,7 +84,7 @@ class FuzzCase:
 
     spec: PipelineSpec
     schedule: Schedule
-    sizes: Tuple[int, int]
+    sizes: Tuple[int, ...]        # matches the spec's dimensionality
     thread_counts: Tuple[int, ...] = (1, 4)
     #: Worker counts for the process-pool leg (compiled backend with
     #: ``parallel="process"``).  Empty ⇒ the leg is skipped, and the case
@@ -115,7 +120,9 @@ class FuzzCase:
         spec = generate_spec(seed, config)
         built = build_pipeline(spec)
         schedule = generate_schedules(built, seed, count=1)[0]
-        sizes = random.Random(f"repro-fuzz-sizes-{int(seed)}").choice(SIZE_CHOICES)
+        # One draw either way, so the 2-D size stream is unchanged.
+        choices = SIZE_CHOICES if len(spec.input_shape) == 2 else SIZE_CHOICES_3D
+        sizes = random.Random(f"repro-fuzz-sizes-{int(seed)}").choice(choices)
         return cls(spec=spec, schedule=schedule, sizes=sizes,
                    thread_counts=tuple(thread_counts),
                    process_worker_counts=tuple(process_worker_counts),

@@ -1,12 +1,21 @@
 """Seeded random algorithm-graph generation and spec -> Func graph building.
 
 :func:`generate_spec` draws a random :class:`~repro.fuzz.spec.PipelineSpec` —
-a DAG of point-wise stages, stencils, guarded selects and bounded reductions
-over one input image, with mixed dtypes — and :func:`build_pipeline` turns any
-spec into a fresh :class:`~repro.lang.Func` graph plus its input
-:class:`~repro.lang.Buffer`.  Generation is deterministic: the same seed
-always yields the same spec, and the same spec always builds the same
-pipeline (the input image is synthesized from ``spec.seed``).
+a DAG of point-wise stages, stencils, guarded selects, bounded reductions,
+computed-coordinate gathers and ordered blends over one input image, with
+mixed dtypes — and :func:`build_pipeline` turns any spec into a fresh
+:class:`~repro.lang.Func` graph plus its input :class:`~repro.lang.Buffer`.
+Generation is deterministic: the same seed always yields the same spec, and
+the same spec always builds the same pipeline (the input image is synthesized
+from ``spec.seed``).
+
+The default :class:`GeneratorConfig` draws 2-D specs from the original four
+stage kinds and its rng stream is frozen — pinned corpus seeds depend on it.
+:func:`extended_config` widens the vocabulary: ``gather`` and ``blend`` stage
+kinds, and 3-D ``(x, y, t)`` time-dimensioned specs (Array-OL-style frame
+stacks).  The extra draws those features need happen only on code paths the
+default config cannot reach, so default-config specs are byte-identical to
+older releases.
 
 Expression construction keeps every case *total and bit-reproducible*:
 
@@ -18,7 +27,10 @@ Expression construction keeps every case *total and bit-reproducible*:
   so the cast never overflows (int32 arithmetic itself may wrap, which numpy
   does identically in every backend);
 * integer stages never multiply two data values (only by small constants),
-  bounding value growth.
+  bounding value growth;
+* gather coordinates are clamped to a constant range, so computed reads stay
+  total; blend alphas are exact eighths (float) or the matching fixed-point
+  form (int), so accumulation order is observable but arithmetic stays exact.
 """
 
 from __future__ import annotations
@@ -34,7 +46,8 @@ from repro.lang import Buffer, Func, RDom, Var, abs_, cast, clamp, max_, min_, s
 from repro.types import Float, Int, Type
 
 __all__ = ["GeneratorConfig", "BuiltPipeline", "generate_spec", "build_pipeline",
-           "generate_pipeline", "input_image_for"]
+           "generate_pipeline", "input_image_for", "extended_config",
+           "spec_uses_extended_ops"]
 
 
 @dataclass(frozen=True)
@@ -47,12 +60,43 @@ class GeneratorConfig:
     max_tap_offset: int = 2      # |dx|, |dy| of stencil taps
     max_taps: int = 5
     max_reduce_extent: int = 5
-    input_shapes: Tuple[Tuple[int, int], ...] = ((16, 12), (24, 16), (13, 9))
+    input_shapes: Tuple[Tuple[int, ...], ...] = ((16, 12), (24, 16), (13, 9))
     dtypes: Tuple[str, ...] = DTYPES
     #: Probability weights per stage kind.
     kind_weights: Tuple[Tuple[str, float], ...] = (
         ("pointwise", 0.40), ("stencil", 0.30), ("select", 0.15), ("reduce", 0.15),
     )
+
+
+#: Shapes the extended vocabulary draws from: the 2-D defaults plus small
+#: 3-D (w, h, t) frame stacks (t kept short — every frame multiplies work).
+EXTENDED_INPUT_SHAPES: Tuple[Tuple[int, ...], ...] = (
+    (16, 12), (24, 16), (13, 9), (10, 8, 6), (9, 7, 5),
+)
+
+#: Kind weights with the new op kinds mixed in at meaningful rates.
+EXTENDED_KIND_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("pointwise", 0.26), ("stencil", 0.18), ("select", 0.10),
+    ("reduce", 0.14), ("gather", 0.18), ("blend", 0.14),
+)
+
+
+def extended_config(**overrides) -> GeneratorConfig:
+    """A config with the widened vocabulary: gather/blend kinds + 3-D shapes.
+
+    Keyword overrides are forwarded to :class:`GeneratorConfig` (e.g.
+    ``max_stages=3``) on top of the extended shape/kind tables.
+    """
+    base = dict(input_shapes=EXTENDED_INPUT_SHAPES,
+                kind_weights=EXTENDED_KIND_WEIGHTS)
+    base.update(overrides)
+    return GeneratorConfig(**base)
+
+
+def spec_uses_extended_ops(spec: PipelineSpec) -> bool:
+    """Whether a spec uses the extended vocabulary (new kinds or 3-D shape)."""
+    return (len(spec.input_shape) != 2
+            or any(s.kind in ("gather", "blend") for s in spec.stages))
 
 
 _FLOAT_POINTWISE_OPS = ("affine", "add", "sub", "mul", "min", "max",
@@ -86,12 +130,19 @@ def _random_pointwise(rng: random.Random, dtype: str, arity: int) -> Tuple:
     return (op,)
 
 
-def _random_stencil(rng: random.Random, dtype: str, config: GeneratorConfig) -> Tuple:
+def _random_stencil(rng: random.Random, dtype: str, config: GeneratorConfig,
+                    ndim: int = 2) -> Tuple:
+    # The 2-D draw sequence here is frozen (pinned corpus seeds); the extra
+    # time-offset draw happens only for 3-D specs, which the default config
+    # never generates.
     num_taps = rng.randint(2, config.max_taps)
     offsets = set()
     while len(offsets) < num_taps:
-        offsets.add((rng.randint(-config.max_tap_offset, config.max_tap_offset),
-                     rng.randint(-config.max_tap_offset, config.max_tap_offset)))
+        tap = (rng.randint(-config.max_tap_offset, config.max_tap_offset),
+               rng.randint(-config.max_tap_offset, config.max_tap_offset))
+        if ndim == 3:
+            tap = tap + (rng.randint(-1, 1),)
+        offsets.add(tap)
     taps = tuple(sorted(offsets))
     weights = tuple(_random_const(rng, dtype, -3, 3) for _ in taps)
     return (taps, weights)
@@ -104,11 +155,52 @@ def _random_select(rng: random.Random, dtype: str, arity: int) -> Tuple:
     return ("stripe", modulus, rng.randrange(modulus))
 
 
-def _random_reduce(rng: random.Random, config: GeneratorConfig) -> Tuple:
+def _random_reduce(rng: random.Random, config: GeneratorConfig,
+                   ndim: int = 2) -> Tuple:
     op = rng.choice(("sum", "min", "max"))
     extent = rng.randint(2, config.max_reduce_extent)
-    direction = rng.choice(((1, 0), (0, 1), (1, 1), (-1, 1)))
-    return (op, extent, direction[0], direction[1])
+    if ndim == 3:
+        direction = rng.choice(((1, 0, 0), (0, 1, 0), (0, 0, 1),
+                                (1, 1, 0), (1, 0, 1), (-1, 1, 0)))
+    else:
+        direction = rng.choice(((1, 0), (0, 1), (1, 1), (-1, 1)))
+    return (op, extent) + tuple(direction)
+
+
+def _random_gather(rng: random.Random, ndim: int = 2) -> Tuple:
+    """Params of a computed-coordinate read: (axis, num, den, offset, hi, weight).
+
+    The stage reads its input at ``clamp((c * num) / den + offset, 0, hi)``
+    along ``axis`` — a non-integer rate change.  ``weight`` 0 means nearest
+    sample; 1..7 linearly interpolates the two adjacent taps with exact
+    eighth weights (``(a * (8 - w) + b * w) / 8``).
+    """
+    axis = rng.randrange(ndim)
+    num = rng.choice((1, 2, 3))
+    den = rng.choice((1, 2, 3))
+    offset = rng.randint(-2, 2)
+    hi = rng.randint(2, 15)
+    weight = rng.choice((0, 1, 2, 3, 5, 7))
+    return (axis, num, den, offset, hi, weight)
+
+
+def _random_blend(rng: random.Random, config: GeneratorConfig,
+                  ndim: int = 2) -> Tuple:
+    """Params of an ordered accumulation: (extent, *direction, alpha_base).
+
+    The stage initializes to its input and then, for each RDom step, combines
+    ``dst * (1 - a) + src * a`` with ``a = ((r % 3) + alpha_base) / 8`` —
+    order-sensitive, unlike sum/min/max, so it pins the executors' iteration
+    order.  ``alpha_base`` in 1..5 keeps the numerator in 1..7.
+    """
+    extent = rng.randint(2, config.max_reduce_extent)
+    if ndim == 3:
+        direction = rng.choice(((1, 0, 0), (0, 1, 0), (0, 0, 1),
+                                (1, 1, 0), (-1, 1, 0)))
+    else:
+        direction = rng.choice(((1, 0), (0, 1), (1, 1), (-1, 1)))
+    alpha_base = rng.randint(1, 5)
+    return (extent,) + tuple(direction) + (alpha_base,)
 
 
 def generate_spec(seed: int, config: Optional[GeneratorConfig] = None) -> PipelineSpec:
@@ -120,6 +212,7 @@ def generate_spec(seed: int, config: Optional[GeneratorConfig] = None) -> Pipeli
     num_stages = rng.randint(config.min_stages, config.max_stages)
     input_shape = rng.choice(config.input_shapes)
     input_dtype = rng.choice(("float32", "float32", "int32"))
+    ndim = len(input_shape)
 
     stages: List[StageSpec] = []
     producers: List[str] = []   # candidate inputs for later stages
@@ -134,10 +227,16 @@ def generate_spec(seed: int, config: Optional[GeneratorConfig] = None) -> Pipeli
         candidates = [INPUT] + producers
         primary = producers[-1] if producers and rng.random() < 0.7 else rng.choice(candidates)
 
-        if kind in ("stencil", "reduce"):
+        if kind in ("stencil", "reduce", "gather", "blend"):
             inputs: Tuple[str, ...] = (primary,)
-            params = (_random_stencil(rng, dtype, config) if kind == "stencil"
-                      else _random_reduce(rng, config))
+            if kind == "stencil":
+                params = _random_stencil(rng, dtype, config, ndim)
+            elif kind == "reduce":
+                params = _random_reduce(rng, config, ndim)
+            elif kind == "gather":
+                params = _random_gather(rng, ndim)
+            else:
+                params = _random_blend(rng, config, ndim)
         else:
             arity = 1 if rng.random() < 0.4 else min(2, config.max_arity)
             if arity == 2:
@@ -164,6 +263,9 @@ _TYPE_BY_NAME: Dict[str, Type] = {
     "float64": Float(64),
     "int32": Int(32),
 }
+
+#: Pure-variable names by dimension: (x, y) for 2-D specs, (x, y, t) for 3-D.
+_COORD_NAMES = ("x", "y", "t")
 
 
 @dataclass
@@ -193,24 +295,23 @@ def input_image_for(spec: PipelineSpec) -> np.ndarray:
     return rng.integers(0, 17, size=shape).astype(spec.input_dtype)
 
 
-def _clamped_input_read(buffer: Buffer, ex, ey):
-    w, h = buffer.shape[0], buffer.shape[1]
-    return buffer[clamp(ex, 0, w - 1), clamp(ey, 0, h - 1)]
+def _clamped_input_read(buffer: Buffer, pt: Tuple):
+    return buffer[tuple(clamp(e, 0, s - 1) for e, s in zip(pt, buffer.shape))]
 
 
 def build_pipeline(spec: PipelineSpec) -> BuiltPipeline:
     """Construct a fresh Func graph for a spec (no shared state with prior builds)."""
-    x, y = Var("x"), Var("y")
+    coords = tuple(Var(n) for n in _COORD_NAMES[:len(spec.input_shape)])
     input_buffer = Buffer(input_image_for(spec), name="in")
     funcs: Dict[str, Func] = {}
 
-    def read(name: str, ex, ey, dtype: Type):
-        """Read one input of a stage at (ex, ey), cast to the stage's type."""
+    def read(name: str, pt: Tuple, dtype: Type):
+        """Read one input of a stage at point ``pt``, cast to the stage's type."""
         if name == INPUT:
-            raw = _clamped_input_read(input_buffer, ex, ey)
+            raw = _clamped_input_read(input_buffer, pt)
             src_float = _is_float(spec.input_dtype)
         else:
-            raw = funcs[name][ex, ey]
+            raw = funcs[name][pt]
             src_float = _is_float(spec.stage(name).dtype)
         if not dtype.is_float() and src_float:
             # Bound the magnitude before a float -> int cast so the cast can
@@ -223,25 +324,49 @@ def build_pipeline(spec: PipelineSpec) -> BuiltPipeline:
         dtype = _TYPE_BY_NAME[stage.dtype]
         f = Func(stage.name)
         if stage.kind == "pointwise":
-            f[x, y] = _pointwise_value(stage, read, x, y, dtype)
+            f[coords] = _pointwise_value(stage, read, coords, dtype)
         elif stage.kind == "stencil":
-            f[x, y] = _stencil_value(stage, read, x, y, dtype)
+            f[coords] = _stencil_value(stage, read, coords, dtype)
         elif stage.kind == "select":
-            f[x, y] = _select_value(stage, read, x, y, dtype)
+            f[coords] = _select_value(stage, read, coords, dtype)
+        elif stage.kind == "gather":
+            f[coords] = _gather_value(stage, read, coords, dtype)
         elif stage.kind == "reduce":
-            op, extent, dx, dy = stage.params
-            r = RDom(0, int(extent), name=f"r_{stage.name}")
+            op = stage.params[0]
+            extent = int(stage.params[1])
+            direction = tuple(int(d) for d in stage.params[2:])
+            r = RDom(0, extent, name=f"r_{stage.name}")
             src = stage.inputs[0]
-            sample = read(src, x + int(dx) * r.x, y + int(dy) * r.x, dtype)
+            sample = read(src, tuple(c + d * r.x for c, d in zip(coords, direction)),
+                          dtype)
             if op == "sum":
-                f[x, y] = cast(dtype, 0)
-                f[x, y] = f[x, y] + sample
+                f[coords] = cast(dtype, 0)
+                f[coords] = f[coords] + sample
             elif op == "min":
-                f[x, y] = cast(dtype, dtype.max_value())
-                f[x, y] = min_(f[x, y], sample)
+                f[coords] = cast(dtype, dtype.max_value())
+                f[coords] = min_(f[coords], sample)
             else:
-                f[x, y] = cast(dtype, dtype.min_value())
-                f[x, y] = max_(f[x, y], sample)
+                f[coords] = cast(dtype, dtype.min_value())
+                f[coords] = max_(f[coords], sample)
+        elif stage.kind == "blend":
+            extent = int(stage.params[0])
+            alpha_base = int(stage.params[-1])
+            direction = tuple(int(d) for d in stage.params[1:-1])
+            r = RDom(0, extent, name=f"r_{stage.name}")
+            src = stage.inputs[0]
+            s = read(src, tuple(c + d * r.x for c, d in zip(coords, direction)),
+                     dtype)
+            an = (r.x % 3) + alpha_base     # alpha numerator, in 1..7
+            f[coords] = read(src, coords, dtype)
+            if dtype.is_float():
+                # Exact eighths: the blend arithmetic is bit-reproducible, and
+                # the combine is order-sensitive (unlike sum), so the oracle
+                # observes each executor's iteration order.
+                a = cast(dtype, an) / _imm(dtype, 8)
+                f[coords] = f[coords] * (_imm(dtype, 1) - a) + s * a
+            else:
+                # Fixed-point form of the same combine.
+                f[coords] = (f[coords] * (8 - an) + s * an) / 8
         else:  # pragma: no cover - guarded by StageSpec validation
             raise ValueError(f"unknown stage kind {stage.kind!r}")
         funcs[stage.name] = f
@@ -249,9 +374,9 @@ def build_pipeline(spec: PipelineSpec) -> BuiltPipeline:
     return BuiltPipeline(spec, funcs[spec.output_name], funcs, input_buffer)
 
 
-def _pointwise_value(stage: StageSpec, read, x, y, dtype: Type):
+def _pointwise_value(stage: StageSpec, read, pt: Tuple, dtype: Type):
     op = stage.params[0]
-    a = read(stage.inputs[0], x, y, dtype)
+    a = read(stage.inputs[0], pt, dtype)
     if op == "affine":
         scale, offset = stage.params[1], stage.params[2]
         return cast(dtype, a * _imm(dtype, scale) + _imm(dtype, offset))
@@ -263,7 +388,7 @@ def _pointwise_value(stage: StageSpec, read, x, y, dtype: Type):
         return cast(dtype, abs_(a))
     if op == "sqrt_abs":
         return cast(dtype, sqrt(abs_(a)))
-    b = read(stage.inputs[1] if len(stage.inputs) > 1 else stage.inputs[0], x, y, dtype)
+    b = read(stage.inputs[1] if len(stage.inputs) > 1 else stage.inputs[0], pt, dtype)
     if op == "add":
         return cast(dtype, a + b)
     if op == "sub":
@@ -277,26 +402,49 @@ def _pointwise_value(stage: StageSpec, read, x, y, dtype: Type):
     raise ValueError(f"unknown pointwise op {op!r}")
 
 
-def _stencil_value(stage: StageSpec, read, x, y, dtype: Type):
+def _stencil_value(stage: StageSpec, read, pt: Tuple, dtype: Type):
     taps, weights = stage.params
     src = stage.inputs[0]
     total = None
-    for (dx, dy), w in zip(taps, weights):
-        term = read(src, x + int(dx), y + int(dy), dtype) * _imm(dtype, w)
+    for tap, w in zip(taps, weights):
+        at = tuple(c + int(d) for c, d in zip(pt, tap))
+        term = read(src, at, dtype) * _imm(dtype, w)
         total = term if total is None else total + term
     return cast(dtype, total)
 
 
-def _select_value(stage: StageSpec, read, x, y, dtype: Type):
+def _select_value(stage: StageSpec, read, pt: Tuple, dtype: Type):
     mode = stage.params[0]
-    a = read(stage.inputs[0], x, y, dtype)
-    b = (read(stage.inputs[1], x, y, dtype) if len(stage.inputs) > 1
+    a = read(stage.inputs[0], pt, dtype)
+    b = (read(stage.inputs[1], pt, dtype) if len(stage.inputs) > 1
          else cast(dtype, a * _imm(dtype, 2 if not dtype.is_float() else 0.5)))
     if mode == "cmp":
         threshold = _imm(dtype, stage.params[1])
         return cast(dtype, select(a < b + threshold, a, b))
     modulus, residue = int(stage.params[1]), int(stage.params[2])
-    return cast(dtype, select((x + y) % modulus == residue, a, b))
+    stripe = pt[0]
+    for c in pt[1:]:
+        stripe = stripe + c
+    return cast(dtype, select(stripe % modulus == residue, a, b))
+
+
+def _gather_value(stage: StageSpec, read, pt: Tuple, dtype: Type):
+    axis, num, den, offset, hi, weight = (int(v) for v in stage.params)
+    src = stage.inputs[0]
+    base = (pt[axis] * num) / den + offset
+
+    def at(coord):
+        q = list(pt)
+        q[axis] = coord
+        return tuple(q)
+
+    a = read(src, at(clamp(base, 0, hi)), dtype)
+    if weight == 0:
+        return cast(dtype, a)
+    b = read(src, at(clamp(base + 1, 0, hi)), dtype)
+    # Two-tap interpolation with exact eighth weights (see _random_gather).
+    return cast(dtype, (a * _imm(dtype, 8 - weight) + b * _imm(dtype, weight))
+                / _imm(dtype, 8))
 
 
 def _imm(dtype: Type, value):

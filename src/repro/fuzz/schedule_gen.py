@@ -30,7 +30,7 @@ from repro.compiler.vectorize import VectorizeError
 from repro.core.function import Function
 from repro.core.pipeline_schedule import Schedule
 from repro.core.schedule import ScheduleError
-from repro.fuzz.pipeline_gen import BuiltPipeline
+from repro.fuzz.pipeline_gen import BuiltPipeline, spec_uses_extended_ops
 from repro.pipeline import Pipeline
 
 __all__ = ["generate_schedule", "generate_schedules", "consumer_map",
@@ -68,12 +68,18 @@ def generate_schedules(built: BuiltPipeline, seed: int, count: int) -> List[Sche
     consumers = consumer_map(env)
     output_name = built.output.name
     pipeline = Pipeline(built.output)
+    # Extended-vocabulary specs (gather/blend kinds, 3-D shapes) also draw
+    # rdom_outer interchanges for update stages.  Default-vocabulary specs
+    # keep a zero probability — and fuzz_genome consumes NO extra rng draws
+    # at zero — so the frozen schedule stream for pinned seeds is untouched.
+    rdom_outer_p = 0.35 if spec_uses_extended_ops(built.spec) else 0.0
 
     result: List[Schedule] = []
     for _ in range(count):
         schedule: Optional[Schedule] = None
         for _attempt in range(MAX_ATTEMPTS):
-            genome = fuzz_genome(env, consumers, output_name, rng)
+            genome = fuzz_genome(env, consumers, output_name, rng,
+                                 rdom_outer_p=rdom_outer_p)
             try:
                 candidate = genome.to_schedule(env, output_name)
                 # Symbolic lowering runs the schedule validator over the real

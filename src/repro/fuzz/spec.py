@@ -9,7 +9,7 @@ of the subsystem cheap: minimization edits specs, repro scripts embed specs,
 and a failing case replays from its JSON alone, with no pickling and no
 dependence on generator internals.
 
-A stage is one of four kinds (mirroring the expression shapes real pipelines
+A stage is one of six kinds (mirroring the expression shapes real pipelines
 are made of):
 
 * ``pointwise`` — an arithmetic combination of its input(s) at the same point
@@ -19,7 +19,19 @@ are made of):
 * ``select`` — a guarded expression choosing between two values by a
   coordinate stripe or a data comparison;
 * ``reduce`` — a bounded reduction (sum/min/max) over a line of samples of
-  one input, expressed as an initial pure definition plus an RDom update.
+  one input, expressed as an initial pure definition plus an RDom update;
+* ``gather`` — a read of one input at a *computed, clamped* coordinate along
+  one axis (``clamp((c * num) / den + offset, 0, hi)`` — a non-integer rate
+  change), optionally linearly interpolating two adjacent taps with exact
+  eighth weights;
+* ``blend`` — an *ordered* accumulation: an RDom update whose combine is
+  ``dst * (1 - a) + src * a`` with a per-step alpha, so the iteration order
+  is observable (unlike sum/min/max).  Integer stages use the equivalent
+  fixed-point form ``(dst * (8 - an) + src * an) / 8``.
+
+Specs may be 2-D ``(x, y)`` or 3-D ``(x, y, t)`` — the rank of
+``input_shape`` decides, and directional parameters (stencil taps, reduce and
+blend directions) carry one extra component in 3-D specs.
 
 Reads of the pipeline's input image are always clamped to the image bounds,
 so every spec is total for any realization size.  Reads of producer stages
@@ -44,7 +56,7 @@ SPEC_FORMAT_VERSION = 1
 #: whose arithmetic is bit-reproducible across all backends.
 DTYPES = ("float32", "float64", "int32")
 
-STAGE_KINDS = ("pointwise", "stencil", "select", "reduce")
+STAGE_KINDS = ("pointwise", "stencil", "select", "reduce", "gather", "blend")
 
 
 def _as_plain(value):
@@ -109,7 +121,7 @@ class PipelineSpec:
     """
 
     seed: int
-    input_shape: Tuple[int, int]
+    input_shape: Tuple[int, ...]   # (w, h) or (w, h, t)
     input_dtype: str
     stages: Tuple[StageSpec, ...]
 

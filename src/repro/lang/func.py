@@ -274,6 +274,22 @@ class Func:
         self.schedule.store_root()
         return self
 
+    def rdom_outer(self) -> "Func":
+        """Iterate update stages with the reduction loops hoisted outermost.
+
+        The default update nest runs the RDom loops innermost; with this
+        directive the free pure-variable loops run inside (first argument
+        innermost), which exposes them to batching and parallelism — e.g. an
+        ordered blend ``f[x, y] = f[x, y] * (1 - a) + src * a`` becomes a
+        per-``r`` data-parallel sweep over the image.  Lowering validates the
+        interchange is observationally sound (the update must reference the
+        function only at its own point, and the RDom bounds must not depend
+        on the pure variables) and raises
+        :class:`~repro.core.schedule.ScheduleError` otherwise.
+        """
+        self.schedule.rdom_outer = True
+        return self
+
     def storage_fold(self, var, factor: int) -> "Func":
         """Fold this stage's storage along ``var`` into a ring of ``factor`` entries.
 

@@ -16,6 +16,8 @@ from repro.reference.camera_pipe_ref import camera_pipe_ref
 from repro.reference.interpolate_ref import interpolate_ref
 from repro.reference.local_laplacian_ref import local_laplacian_ref
 from repro.reference.video_ref import video_ref
+from repro.reference.rasterize_ref import rasterize_ref
+from repro.reference.pyramid_ref import pyramid_ref
 
 __all__ = [
     "blur_ref",
@@ -26,4 +28,6 @@ __all__ = [
     "interpolate_ref",
     "local_laplacian_ref",
     "video_ref",
+    "rasterize_ref",
+    "pyramid_ref",
 ]

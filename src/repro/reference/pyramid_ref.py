@@ -1,0 +1,46 @@
+"""Reference resampling pyramid (matches repro.apps.pyramid exactly).
+
+Plain numpy mirroring :func:`repro.apps.common.resample_axis` operation for
+operation — same computed coordinates, same clamps, same float32 two-tap
+blend — so the comparison is bit-exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pyramid_ref"]
+
+
+def _resample_axis_ref(arr: np.ndarray, num: int, den: int,
+                       out_size: int, axis: int) -> np.ndarray:
+    src_size = arr.shape[axis]
+    scaled = np.arange(out_size) * int(num)
+    base = scaled // int(den)
+    frac = (scaled % int(den)).astype(np.float32) / np.float32(den)
+    lo = np.maximum(np.minimum(base, src_size - 1), 0)
+    hi = np.maximum(np.minimum(base + 1, src_size - 1), 0)
+    a = np.take(arr, lo, axis=axis)
+    b = np.take(arr, hi, axis=axis)
+    shape = [1, 1]
+    shape[axis] = out_size
+    frac = frac.reshape(shape)
+    return a * (np.float32(1.0) - frac) + b * frac
+
+
+def pyramid_ref(image: np.ndarray, levels: int = 2) -> np.ndarray:
+    """Decimate by 3/2 per axis ``levels`` times, then interpolate back by 2/3."""
+    from repro.apps.pyramid import pyramid_level_sizes
+
+    arr = np.asarray(image, dtype=np.float32)
+    width, height = arr.shape
+    sizes = pyramid_level_sizes(width, height, levels)
+    for level in range(1, levels + 1):
+        w, h = sizes[level]
+        arr = _resample_axis_ref(arr, 3, 2, w, axis=0)
+        arr = _resample_axis_ref(arr, 3, 2, h, axis=1)
+    for level in range(levels, 0, -1):
+        w, h = sizes[level - 1]
+        arr = _resample_axis_ref(arr, 2, 3, w, axis=0)
+        arr = _resample_axis_ref(arr, 2, 3, h, axis=1)
+    return arr

@@ -1,0 +1,35 @@
+"""Reference scanline rasterizer (matches repro.apps.rasterize exactly).
+
+Plain numpy, one primitive at a time in list order — the same arithmetic, in
+the same order, all in float32, so the comparison is bit-exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rasterize_ref"]
+
+
+def rasterize_ref(width: int, height: int, prims: np.ndarray) -> np.ndarray:
+    """Composite ``prims`` rows (x0, y0, x1, y1, value, alpha) over the
+    procedural background, in order, with fractional box coverage."""
+    prims = np.asarray(prims, dtype=np.float32)
+    xi = np.arange(width)[:, None]
+    yi = np.arange(height)[None, :]
+    image = np.broadcast_to(
+        ((xi + yi) % 8).astype(np.float32) / np.float32(8.0),
+        (width, height)).copy()
+    fx = xi.astype(np.float32)
+    fy = yi.astype(np.float32)
+    one = np.float32(1.0)
+    zero = np.float32(0.0)
+    for x0, y0, x1, y1, value, alpha in prims:
+        # clamp(e, lo, hi) in the DSL is max(min(e, hi), lo); mirror exactly.
+        covx = np.maximum(np.minimum(
+            np.minimum(x1, fx + one) - np.maximum(x0, fx), one), zero)
+        covy = np.maximum(np.minimum(
+            np.minimum(y1, fy + one) - np.maximum(y0, fy), one), zero)
+        a = covx * covy * alpha
+        image = image * (one - a) + value * a
+    return image

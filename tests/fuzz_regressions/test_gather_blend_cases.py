@@ -1,0 +1,2444 @@
+"""Fuzz regression corpus for the gather/blend op kinds (2-D and 3-D).
+
+Ten cases selected from a 300-seed extended-vocabulary run (``--extended``:
+gather and blend stages, time-dimensioned 3-D specs, ``rdom_outer``
+schedules).  Selection favoured gnarliness and deliberate diversity: both new
+kinds alone and combined, both ranks, seven cases carrying ``rdom_outer``
+(the hoisted-reduction loop order the blend kind exists to stress),
+degenerate ``(1, 1)``-ish realization sizes, and vectorize/unroll/compute_at/
+storage_fold directive mixes over the new stages.
+
+Each case is embedded as plain JSON — replay does not involve the generator,
+so these keep exercising today's shapes even after the generator evolves.
+Every case must stay bit-identical across interp/numpy/compiled x threads
+{1, 4}; a failure here is a backend/lowering regression, not a flake.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz import FuzzCase, run_case
+
+_CASES_JSON = r'''
+[
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      4,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_vo",
+      "x_i_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_vi",
+       "x_i_vo",
+       "y_i",
+       "x_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "vectorize",
+      "x_i_vi"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      3,
+      "guard_with_if"
+     ],
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_vi",
+       "x_vo",
+       "t",
+       "y_i",
+       "y_o"
+      ]
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "rdom_outer"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "storage_fold",
+      "x",
+      16
+     ],
+     [
+      "compute_at",
+      "s4",
+      "x"
+     ],
+     [
+      "store_at",
+      "s4",
+      "y"
+     ]
+    ],
+    "s4": [
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 264,
+  "sizes": [
+   8,
+   6,
+   5
+  ],
+  "spec": {
+   "input_dtype": "int32",
+   "input_shape": [
+    9,
+    7,
+    5
+   ],
+   "seed": 264,
+   "stages": [
+    {
+     "dtype": "float64",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "blend",
+     "name": "s0",
+     "params": [
+      3,
+      -1,
+      1,
+      0,
+      5
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "gather",
+     "name": "s1",
+     "params": [
+      2,
+      3,
+      1,
+      1,
+      13,
+      1
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "blend",
+     "name": "s2",
+     "params": [
+      2,
+      -1,
+      1,
+      0,
+      2
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "select",
+     "name": "s3",
+     "params": [
+      "stripe",
+      2,
+      0
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "pointwise",
+     "name": "s4",
+     "params": [
+      "div_const",
+      3
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "rdom_outer"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i",
+       "t",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "storage_fold",
+      "x",
+      8
+     ],
+     [
+      "compute_at",
+      "s6",
+      "x"
+     ],
+     [
+      "store_at",
+      "s6",
+      "y"
+     ]
+    ],
+    "s6": [
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 114,
+  "sizes": [
+   7,
+   5,
+   4
+  ],
+  "spec": {
+   "input_dtype": "int32",
+   "input_shape": [
+    10,
+    8,
+    6
+   ],
+   "seed": 114,
+   "stages": [
+    {
+     "dtype": "float32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "reduce",
+     "name": "s0",
+     "params": [
+      "min",
+      4,
+      0,
+      0,
+      1
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "gather",
+     "name": "s1",
+     "params": [
+      2,
+      2,
+      3,
+      -1,
+      2,
+      3
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "reduce",
+     "name": "s2",
+     "params": [
+      "min",
+      5,
+      1,
+      0,
+      1
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "stencil",
+     "name": "s3",
+     "params": [
+      [
+       [
+        -2,
+        -2,
+        0
+       ],
+       [
+        -1,
+        2,
+        0
+       ],
+       [
+        0,
+        -1,
+        -1
+       ],
+       [
+        0,
+        0,
+        -1
+       ],
+       [
+        1,
+        2,
+        -1
+       ]
+      ],
+      [
+       -1.625,
+       -1.125,
+       2.125,
+       -2.375,
+       2.25
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s3",
+      "s3"
+     ],
+     "kind": "select",
+     "name": "s5",
+     "params": [
+      "stripe",
+      3,
+      2
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s5",
+      "s3"
+     ],
+     "kind": "pointwise",
+     "name": "s6",
+     "params": [
+      "affine",
+      -4.0,
+      2.5
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "storage_fold",
+      "x",
+      16
+     ],
+     [
+      "compute_at",
+      "s1",
+      "x"
+     ],
+     [
+      "store_at",
+      "s1",
+      "y"
+     ]
+    ],
+    "s1": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "parallel",
+      "t"
+     ]
+    ],
+    "s5": [
+     [
+      "rdom_outer"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 32,
+  "sizes": [
+   11,
+   7,
+   3
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    9,
+    7,
+    5
+   ],
+   "seed": 32,
+   "stages": [
+    {
+     "dtype": "float64",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "gather",
+     "name": "s0",
+     "params": [
+      0,
+      1,
+      1,
+      2,
+      8,
+      3
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "stencil",
+     "name": "s1",
+     "params": [
+      [
+       [
+        -1,
+        -2,
+        -1
+       ],
+       [
+        -1,
+        -2,
+        1
+       ],
+       [
+        0,
+        2,
+        -1
+       ],
+       [
+        1,
+        -2,
+        -1
+       ],
+       [
+        1,
+        1,
+        1
+       ]
+      ],
+      [
+       -1.25,
+       1.625,
+       0.75,
+       1.375,
+       1.75
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "gather",
+     "name": "s2",
+     "params": [
+      0,
+      3,
+      1,
+      2,
+      7,
+      5
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "blend",
+     "name": "s5",
+     "params": [
+      5,
+      -1,
+      1,
+      0,
+      3
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "parallel",
+      "y"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      6,
+      "guard_with_if"
+     ],
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ]
+    ],
+    "s2": [
+     [
+      "rdom_outer"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "storage_fold",
+      "x",
+      4
+     ],
+     [
+      "compute_at",
+      "s6",
+      "x"
+     ],
+     [
+      "store_at",
+      "s6",
+      "y"
+     ]
+    ],
+    "s6": [
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 64,
+  "sizes": [
+   1,
+   1
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    13,
+    9
+   ],
+   "seed": 64,
+   "stages": [
+    {
+     "dtype": "float64",
+     "inputs": [
+      "__input__",
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s0",
+     "params": [
+      "abs"
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "gather",
+     "name": "s1",
+     "params": [
+      1,
+      1,
+      2,
+      1,
+      6,
+      3
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "reduce",
+     "name": "s2",
+     "params": [
+      "sum",
+      5,
+      1,
+      1
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "blend",
+     "name": "s3",
+     "params": [
+      5,
+      0,
+      1,
+      2
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "stencil",
+     "name": "s4",
+     "params": [
+      [
+       [
+        -2,
+        -1
+       ],
+       [
+        -1,
+        -1
+       ],
+       [
+        0,
+        -1
+       ],
+       [
+        0,
+        2
+       ],
+       [
+        2,
+        -1
+       ]
+      ],
+      [
+       -2.125,
+       2.375,
+       -0.5,
+       -2.875,
+       -2.375
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "stencil",
+     "name": "s5",
+     "params": [
+      [
+       [
+        -2,
+        2
+       ],
+       [
+        2,
+        -1
+       ],
+       [
+        2,
+        1
+       ]
+      ],
+      [
+       3,
+       -2,
+       0
+      ]
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s5"
+     ],
+     "kind": "select",
+     "name": "s6",
+     "params": [
+      "stripe",
+      4,
+      0
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      16,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_uo",
+      "x_i_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_ui",
+       "x_i_uo",
+       "y_i",
+       "x_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "unroll",
+      "x_i_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_uo",
+      "x_i_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_ui",
+       "x_i_uo",
+       "y_i",
+       "x_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "rdom_outer"
+     ],
+     [
+      "unroll",
+      "x_i_ui"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      16,
+      "guard_with_if"
+     ],
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "t",
+       "y",
+       "x_ui",
+       "x_uo"
+      ]
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "compute_at",
+      "s5",
+      "t"
+     ]
+    ],
+    "s5": [
+     [
+      "storage_fold",
+      "x",
+      4
+     ],
+     [
+      "compute_at",
+      "s6",
+      "x"
+     ],
+     [
+      "store_at",
+      "s6",
+      "y"
+     ]
+    ],
+    "s6": [
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 63,
+  "sizes": [
+   2,
+   3,
+   2
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    10,
+    8,
+    6
+   ],
+   "seed": 63,
+   "stages": [
+    {
+     "dtype": "float64",
+     "inputs": [
+      "__input__",
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s0",
+     "params": [
+      "mul"
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "reduce",
+     "name": "s1",
+     "params": [
+      "sum",
+      5,
+      1,
+      0,
+      0
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__",
+      "s1"
+     ],
+     "kind": "select",
+     "name": "s2",
+     "params": [
+      "cmp",
+      -2
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "gather",
+     "name": "s4",
+     "params": [
+      1,
+      3,
+      1,
+      0,
+      15,
+      2
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "stencil",
+     "name": "s5",
+     "params": [
+      [
+       [
+        2,
+        -2,
+        0
+       ],
+       [
+        2,
+        -1,
+        -1
+       ]
+      ],
+      [
+       -3,
+       1
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s5",
+      "s2"
+     ],
+     "kind": "pointwise",
+     "name": "s6",
+     "params": [
+      "div_const",
+      3
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_vo",
+      "x_i_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_vi",
+       "x_i_vo",
+       "y_i",
+       "x_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "vectorize",
+      "x_i_vi"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "storage_fold",
+      "y",
+      16
+     ],
+     [
+      "compute_at",
+      "s4",
+      "y"
+     ],
+     [
+      "store_at",
+      "s4",
+      "t"
+     ]
+    ],
+    "s4": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "rdom_outer"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 14,
+  "sizes": [
+   8,
+   6,
+   5
+  ],
+  "spec": {
+   "input_dtype": "int32",
+   "input_shape": [
+    10,
+    8,
+    6
+   ],
+   "seed": 14,
+   "stages": [
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "blend",
+     "name": "s0",
+     "params": [
+      5,
+      1,
+      1,
+      0,
+      3
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "reduce",
+     "name": "s2",
+     "params": [
+      "min",
+      4,
+      1,
+      0,
+      0
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s2",
+      "s2"
+     ],
+     "kind": "pointwise",
+     "name": "s3",
+     "params": [
+      "affine",
+      -0.375,
+      -2.625
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "stencil",
+     "name": "s4",
+     "params": [
+      [
+       [
+        -2,
+        -2,
+        0
+       ],
+       [
+        -1,
+        1,
+        -1
+       ],
+       [
+        2,
+        2,
+        -1
+       ],
+       [
+        2,
+        2,
+        1
+       ]
+      ],
+      [
+       3.0,
+       -0.75,
+       0.375,
+       0.625
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "reduce",
+     "name": "s5",
+     "params": [
+      "min",
+      3,
+      1,
+      0,
+      1
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s1": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      4,
+      "round_up"
+     ],
+     [
+      "split",
+      "y_i",
+      "y_i_o",
+      "y_i_i",
+      6,
+      "guard_with_if"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_vo",
+      "x_i_vi",
+      4,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_vi",
+       "x_i_vo",
+       "y_i_i",
+       "y_i_o",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "vectorize",
+      "x_i_vi"
+     ],
+     [
+      "compute_at",
+      "s2",
+      "y"
+     ]
+    ],
+    "s2": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      2,
+      "round_up"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      4,
+      "guard_with_if"
+     ],
+     [
+      "parallel",
+      "y_o"
+     ]
+    ],
+    "s5": [
+     [
+      "rdom_outer"
+     ],
+     [
+      "parallel",
+      "y"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s6": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "guard_with_if"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 116,
+  "sizes": [
+   11,
+   7
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    13,
+    9
+   ],
+   "seed": 116,
+   "stages": [
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "gather",
+     "name": "s0",
+     "params": [
+      1,
+      3,
+      3,
+      -1,
+      4,
+      5
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "gather",
+     "name": "s1",
+     "params": [
+      0,
+      3,
+      2,
+      -1,
+      13,
+      1
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "stencil",
+     "name": "s2",
+     "params": [
+      [
+       [
+        -1,
+        -2
+       ],
+       [
+        -1,
+        -1
+       ],
+       [
+        -1,
+        2
+       ],
+       [
+        1,
+        2
+       ]
+      ],
+      [
+       -3,
+       0,
+       0,
+       1
+      ]
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s2",
+      "s0"
+     ],
+     "kind": "pointwise",
+     "name": "s3",
+     "params": [
+      "max"
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "stencil",
+     "name": "s4",
+     "params": [
+      [
+       [
+        -1,
+        -2
+       ],
+       [
+        -1,
+        1
+       ],
+       [
+        0,
+        1
+       ],
+       [
+        1,
+        -1
+       ]
+      ],
+      [
+       -3,
+       2,
+       1,
+       2
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "blend",
+     "name": "s5",
+     "params": [
+      3,
+      -1,
+      1,
+      5
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s5"
+     ],
+     "kind": "gather",
+     "name": "s6",
+     "params": [
+      0,
+      1,
+      1,
+      0,
+      4,
+      5
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_at",
+      "s1",
+      "x"
+     ]
+    ],
+    "s1": [
+     [
+      "compute_at",
+      "s2",
+      "x"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      6,
+      "round_up"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_uo",
+      "x_ui",
+      4,
+      "round_up"
+     ],
+     [
+      "unroll",
+      "x_ui"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_o",
+      "x_i_i",
+      3,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_i",
+       "x_i_o",
+       "y_i",
+       "x_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 153,
+  "sizes": [
+   2,
+   3,
+   2
+  ],
+  "spec": {
+   "input_dtype": "float32",
+   "input_shape": [
+    10,
+    8,
+    6
+   ],
+   "seed": 153,
+   "stages": [
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s0",
+     "params": [
+      "affine",
+      0,
+      2
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "gather",
+     "name": "s1",
+     "params": [
+      1,
+      1,
+      1,
+      2,
+      14,
+      3
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "stencil",
+     "name": "s2",
+     "params": [
+      [
+       [
+        -1,
+        1,
+        1
+       ],
+       [
+        -1,
+        2,
+        1
+       ],
+       [
+        1,
+        2,
+        -1
+       ]
+      ],
+      [
+       2.0,
+       0.875,
+       0.375
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "reduce",
+     "name": "s3",
+     "params": [
+      "min",
+      3,
+      1,
+      0,
+      0
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s3"
+     ],
+     "kind": "blend",
+     "name": "s4",
+     "params": [
+      3,
+      1,
+      0,
+      0,
+      4
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "stencil",
+     "name": "s5",
+     "params": [
+      [
+       [
+        -1,
+        0,
+        1
+       ],
+       [
+        0,
+        0,
+        0
+       ]
+      ],
+      [
+       2.125,
+       -2.125
+      ]
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [
+     [
+      "storage_fold",
+      "y",
+      4
+     ],
+     [
+      "compute_at",
+      "s1",
+      "y"
+     ],
+     [
+      "store_at",
+      "s1",
+      "t"
+     ]
+    ],
+    "s1": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      16,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "t",
+       "x_i",
+       "y_i",
+       "x_o",
+       "y_o"
+      ]
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      32,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_uo",
+      "x_i_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_o",
+      "x_o_o",
+      "x_o_i",
+      32,
+      "guard_with_if"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_ui",
+       "x_i_uo",
+       "y_i",
+       "x_o_i",
+       "x_o_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "unroll",
+      "x_i_ui"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s4": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      4,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "x_i",
+      "x_i_uo",
+      "x_i_ui",
+      2,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i_ui",
+       "x_i_uo",
+       "y_i",
+       "x_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "unroll",
+      "x_i_ui"
+     ],
+     [
+      "parallel",
+      "t"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s5": [
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 222,
+  "sizes": [
+   1,
+   1,
+   2
+  ],
+  "spec": {
+   "input_dtype": "int32",
+   "input_shape": [
+    9,
+    7,
+    5
+   ],
+   "seed": 222,
+   "stages": [
+    {
+     "dtype": "float32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "gather",
+     "name": "s0",
+     "params": [
+      2,
+      2,
+      3,
+      2,
+      13,
+      3
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s0",
+      "__input__"
+     ],
+     "kind": "pointwise",
+     "name": "s1",
+     "params": [
+      "affine",
+      -0.125,
+      3.125
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s1"
+     ],
+     "kind": "reduce",
+     "name": "s2",
+     "params": [
+      "max",
+      4,
+      1,
+      1,
+      0
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "reduce",
+     "name": "s3",
+     "params": [
+      "max",
+      2,
+      1,
+      1,
+      0
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s3",
+      "s3"
+     ],
+     "kind": "select",
+     "name": "s4",
+     "params": [
+      "stripe",
+      2,
+      0
+     ]
+    },
+    {
+     "dtype": "float64",
+     "inputs": [
+      "s4"
+     ],
+     "kind": "blend",
+     "name": "s5",
+     "params": [
+      5,
+      1,
+      1,
+      0,
+      5
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ },
+ {
+  "schedule": {
+   "funcs": {
+    "s0": [],
+    "s1": [
+     [
+      "compute_root"
+     ]
+    ],
+    "s2": [
+     [
+      "split",
+      "x",
+      "x_vo",
+      "x_vi",
+      8,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      3,
+      "guard_with_if"
+     ],
+     [
+      "vectorize",
+      "x_vi"
+     ],
+     [
+      "compute_root"
+     ]
+    ],
+    "s3": [
+     [
+      "split",
+      "x",
+      "x_o",
+      "x_i",
+      64,
+      "round_up"
+     ],
+     [
+      "split",
+      "y",
+      "y_o",
+      "y_i",
+      2,
+      "round_up"
+     ],
+     [
+      "split",
+      "y_i",
+      "y_i_o",
+      "y_i_i",
+      6,
+      "round_up"
+     ],
+     [
+      "reorder",
+      [
+       "x_i",
+       "y_i_i",
+       "y_i_o",
+       "x_o",
+       "y_o",
+       "t"
+      ]
+     ],
+     [
+      "rdom_outer"
+     ],
+     [
+      "compute_root"
+     ]
+    ]
+   },
+   "version": 1
+  },
+  "seed": 296,
+  "sizes": [
+   1,
+   1,
+   2
+  ],
+  "spec": {
+   "input_dtype": "int32",
+   "input_shape": [
+    9,
+    7,
+    5
+   ],
+   "seed": 296,
+   "stages": [
+    {
+     "dtype": "int32",
+     "inputs": [
+      "__input__"
+     ],
+     "kind": "stencil",
+     "name": "s0",
+     "params": [
+      [
+       [
+        -2,
+        0,
+        1
+       ],
+       [
+        -2,
+        1,
+        1
+       ],
+       [
+        0,
+        -1,
+        1
+       ]
+      ],
+      [
+       2,
+       1,
+       2
+      ]
+     ]
+    },
+    {
+     "dtype": "float32",
+     "inputs": [
+      "s0"
+     ],
+     "kind": "blend",
+     "name": "s1",
+     "params": [
+      4,
+      0,
+      0,
+      1,
+      1
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s1",
+      "s1"
+     ],
+     "kind": "select",
+     "name": "s2",
+     "params": [
+      "stripe",
+      3,
+      2
+     ]
+    },
+    {
+     "dtype": "int32",
+     "inputs": [
+      "s2"
+     ],
+     "kind": "reduce",
+     "name": "s3",
+     "params": [
+      "sum",
+      3,
+      1,
+      0,
+      0
+     ]
+    }
+   ],
+   "version": 1
+  },
+  "thread_counts": [
+   1,
+   4
+  ],
+  "version": 1
+ }
+]
+'''
+
+CASES = [FuzzCase.from_dict(d) for d in json.loads(_CASES_JSON)]
+
+
+@pytest.mark.parametrize("case", CASES,
+                         ids=[f"seed{c.seed}-{c.key()}" for c in CASES])
+def test_gather_blend_corpus_case(case):
+    run_case(case, raise_on_failure=True)

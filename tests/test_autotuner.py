@@ -106,6 +106,32 @@ class TestEvaluator:
         with pytest.raises(ValueError, match="mode"):
             CostModelEvaluator(pipeline, [24, 16], mode="quantum")
 
+    def test_wall_clock_defaults_to_native_when_toolchain_present(
+            self, blur_setup, monkeypatch):
+        """Wall-clock timing should rank the machine code a deployed pipeline
+        actually runs when a C toolchain is on PATH..."""
+        from repro.autotuner import WallClockEvaluator
+        from repro.codegen import c_toolchain
+
+        _, _, pipeline, _, _ = blur_setup
+        monkeypatch.setattr(c_toolchain, "toolchain_available", lambda: True)
+        assert WallClockEvaluator(pipeline, [24, 16]).backend == "native"
+
+    def test_wall_clock_falls_back_to_compiled_without_toolchain(
+            self, blur_setup, monkeypatch):
+        """...and fall back to the generated-source backend when there is no
+        compiler, so the tuner still works on a toolchain-free box.  An
+        explicit backend choice always wins over the probe."""
+        from repro.autotuner import WallClockEvaluator
+        from repro.codegen import c_toolchain
+
+        _, _, pipeline, _, _ = blur_setup
+        monkeypatch.setattr(c_toolchain, "toolchain_available", lambda: False)
+        assert WallClockEvaluator(pipeline, [24, 16]).backend == "compiled"
+        monkeypatch.setattr(c_toolchain, "toolchain_available", lambda: True)
+        explicit = WallClockEvaluator(pipeline, [24, 16], backend="compiled")
+        assert explicit.backend == "compiled"
+
 
 class TestErrorMaskingRegression:
     """PR 7's foregrounded bugfix: the evaluators used to catch

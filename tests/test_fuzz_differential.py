@@ -21,6 +21,7 @@ from repro.fuzz import (
     GeneratorConfig,
     build_pipeline,
     default_still_fails,
+    extended_config,
     generate_pipeline,
     generate_schedules,
     generate_spec,
@@ -28,8 +29,10 @@ from repro.fuzz import (
     minimize_case,
     repro_script,
     run_case,
+    spec_uses_extended_ops,
 )
 from repro.fuzz.__main__ import case_seed
+from repro.fuzz.oracle import SIZE_CHOICES_3D
 from repro.fuzz.spec import INPUT, PipelineSpec, StageSpec
 
 #: The tier-1 smoke slice: pinned seeds, small but varied.
@@ -196,6 +199,104 @@ def test_generated_schedules_reach_fold_directives():
                      for d in sched.directives(name)}
             if "storage_fold" in kinds:
                 hits += 1
+    assert hits >= 3
+
+
+# ---------------------------------------------------------------------------
+# the extended vocabulary: gather / blend op kinds and 3-D specs
+# ---------------------------------------------------------------------------
+
+#: Pinned extended-vocabulary seeds, chosen from a scan of 0..60 so the slice
+#: covers: gather and blend in both 2-D and 3-D, gather+blend chained through
+#: stencils/reductions, and several schedules carrying ``rdom_outer``.
+EXTENDED_SMOKE_SEEDS = (1, 2, 5, 6, 9, 13, 14, 17, 26, 32, 44, 51)
+
+
+@pytest.mark.parametrize("seed", EXTENDED_SMOKE_SEEDS)
+def test_extended_smoke_corpus_case(seed):
+    """Tier-1: extended-vocabulary cases (gather/blend kinds, 3-D specs) are
+    bit-identical across all backends/threads."""
+    run_case(FuzzCase.from_seed(seed, config=extended_config()),
+             raise_on_failure=True)
+
+
+#: Pinned extended seeds whose surviving schedules carry ``rdom_outer`` (the
+#: update-nest interchange), so the hoisted-RDom execution path stays under
+#: the oracle in tier-1.
+RDOM_OUTER_SEEDS = (1, 6, 32, 44)
+
+
+@pytest.mark.parametrize("seed", RDOM_OUTER_SEEDS)
+def test_rdom_outer_corpus_case(seed):
+    """Tier-1: pinned extended cases whose schedules exercise rdom_outer (the
+    directive must actually be present, and the run stays bit-identical)."""
+    case = FuzzCase.from_seed(seed, config=extended_config())
+    kinds = {d[0] for name in case.schedule.funcs()
+             for d in case.schedule.directives(name)}
+    assert "rdom_outer" in kinds
+    run_case(case, raise_on_failure=True)
+
+
+#: Extended seeds also run on the native compile-to-C leg (auto-skipped when
+#: no C compiler is on PATH); 6 is a 3-D gather+blend case, 51 a deep 2-D mix.
+EXTENDED_NATIVE_SEEDS = (6, 51)
+
+
+@pytest.mark.native
+@pytest.mark.parametrize("seed", EXTENDED_NATIVE_SEEDS)
+def test_extended_smoke_corpus_case_native(seed):
+    run_case(FuzzCase.from_seed(seed, config=extended_config(),
+                                native_thread_counts=(1, 4)),
+             raise_on_failure=True)
+
+
+def test_extended_vocabulary_reaches_new_kinds():
+    """The extended config actually draws the new op kinds and 3-D shapes at
+    a useful rate (directed coverage, not a dead knob)."""
+    gather = blend = three_d = 0
+    for seed in range(30):
+        spec = generate_spec(seed, extended_config())
+        kinds = {s.kind for s in spec.stages}
+        gather += "gather" in kinds
+        blend += "blend" in kinds
+        three_d += len(spec.input_shape) == 3
+    assert gather >= 5 and blend >= 5 and three_d >= 5
+
+
+def test_default_config_never_draws_extended_ops():
+    """The frozen default stream must not change: no gather/blend kinds, no
+    3-D shapes, and spec_uses_extended_ops stays False."""
+    for seed in range(40):
+        spec = generate_spec(seed)
+        assert len(spec.input_shape) == 2
+        assert all(s.kind in ("pointwise", "stencil", "select", "reduce")
+                   for s in spec.stages)
+        assert not spec_uses_extended_ops(spec)
+
+
+def test_extended_case_roundtrip_and_3d_sizes():
+    """Extended cases serialize/replay like any other, and 3-D specs draw
+    their realization sizes from the 3-D table."""
+    case = FuzzCase.from_seed(6, config=extended_config())
+    assert len(case.spec.input_shape) == 3
+    assert len(case.sizes) == 3
+    assert case.sizes in SIZE_CHOICES_3D
+    replayed = FuzzCase.from_json(case.to_json())
+    assert replayed.spec == case.spec
+    assert replayed.sizes == case.sizes
+    assert replayed.key() == case.key()
+
+
+def test_generated_schedules_reach_rdom_outer():
+    """The directed insertion emits *legal* rdom_outer schedules at a useful
+    rate over extended specs with update stages."""
+    hits = 0
+    for seed in range(40):
+        case = FuzzCase.from_seed(seed, config=extended_config())
+        kinds = {d[0] for name in case.schedule.funcs()
+                 for d in case.schedule.directives(name)}
+        if "rdom_outer" in kinds:
+            hits += 1
     assert hits >= 3
 
 

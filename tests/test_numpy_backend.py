@@ -177,11 +177,38 @@ def test_simple_store_loop_is_batchable():
     assert info.store_checks[0].buffer == "out"
 
 
-def test_reduction_loop_is_not_batchable():
-    # out[x] = out[x] + 1 — a loop-carried dependence through 'out'.
+def test_same_index_rmw_loop_is_batchable():
+    # out[x] = out[x] + 1 — each iteration reads and writes only its own
+    # location, so batching is sound (the per-store disjointness machinery
+    # covers index collisions).
     x = E.Variable("x", Int(32))
     value = E.Load(Float(32), "out", x) + E.FloatImm(1.0)
     loop = _float_store_loop(x, value)
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert info.batchable
+    assert len(info.store_checks) == 1
+
+
+def test_shifted_index_reduction_loop_is_not_batchable():
+    # out[x] = out[x + 1] + 1 — a genuine loop-carried dependence: the load
+    # index differs from the store index.
+    x = E.Variable("x", Int(32))
+    value = E.Load(Float(32), "out", x + op.const(1)) + E.FloatImm(1.0)
+    loop = _float_store_loop(x, value)
+    info = analyze_batchable_loops(loop)[id(loop)]
+    assert not info.batchable
+    assert "loop-carried" in info.reason
+
+
+def test_rmw_with_second_store_is_not_batchable():
+    # An RMW store plus a store to another buffer: an abort at the second
+    # store's uniqueness check could follow the committed RMW store, making
+    # the scalar replay double-apply it — so legality must reject the body.
+    x = E.Variable("x", Int(32))
+    rmw = S.Store("out", E.Load(Float(32), "out", x) + E.FloatImm(1.0), x)
+    other = S.Store("aux", E.FloatImm(2.0), x)
+    loop = S.For("x", op.const(0), op.const(8), S.ForType.SERIAL,
+                 S.Block.make([rmw, other]))
     info = analyze_batchable_loops(loop)[id(loop)]
     assert not info.batchable
     assert "loop-carried" in info.reason
